@@ -1,0 +1,111 @@
+// Block-boundary handling ablation (paper footnote 1): Drain vs. Chain
+// initial conditions over control-flow programs.
+//
+// Workload: synthetic programs of straight-line segments split by `if`
+// arms (generated source statements wrapped in conditionals). Chain mode
+// may cost NOPs on chainable blocks — those NOPs were real all along; the
+// drained analysis simply under-counted them. We report total NOPs under
+// both analyses and how many blocks chained.
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "core/program_compiler.hpp"
+#include "synth/generator.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace pipesched;
+
+/// Synthetic control-flow source: straight-line chunks from the Section
+/// 5.2 generator, interleaved with if/else arms built from further chunks.
+std::string synth_cfg_source(std::uint64_t seed) {
+  const auto chunk = [&](int statements, std::uint64_t sub) {
+    GeneratorParams params;
+    params.statements = statements;
+    params.variables = 6;
+    params.constants = 3;
+    params.seed = seed * 97 + sub;
+    return generate_source(params).to_string();
+  };
+  std::ostringstream oss;
+  oss << chunk(6, 1);
+  oss << "if (v0) {\n" << chunk(5, 2) << "} else {\n" << chunk(5, 3) << "}\n";
+  oss << chunk(6, 4);
+  oss << "if (v1) {\n" << chunk(4, 5) << "}\n";
+  oss << chunk(5, 6);
+  return oss.str();
+}
+
+}  // namespace
+
+int main() {
+  using namespace pipesched;
+  bench::banner("Block-Boundary Initial Conditions: Drain Vs. Chain",
+                "footnote 1");
+
+  const int runs = bench::corpus_runs(400);
+  CsvWriter csv("boundary.csv");
+  csv.row({"machine", "avg_drain_nops", "avg_chain_nops",
+           "pct_programs_affected", "avg_chainable_blocks"});
+
+  // Boundary residue only matters when enqueue windows are long enough to
+  // straddle a block cut, so sweep pipeline structures.
+  for (const std::string& name :
+       {std::string("paper-simulation"), std::string("unpipelined-units"),
+        std::string("risc-classic")}) {
+    const Machine machine = Machine::preset(name);
+    Accumulator drain_nops;
+    Accumulator chain_nops;
+    Accumulator affected;
+    Accumulator chained_blocks;
+
+    for (int i = 0; i < runs; ++i) {
+      const std::string source =
+          synth_cfg_source(static_cast<std::uint64_t>(i) + 1);
+      ProgramCompileOptions drain;
+      drain.block.machine = machine;
+      drain.block.search.curtail_lambda = 20000;
+      ProgramCompileOptions chain = drain;
+      chain.boundary = BoundaryMode::Chain;
+
+      const ProgramCompileResult a = compile_program_source(source, drain);
+      const ProgramCompileResult b = compile_program_source(source, chain);
+      drain_nops.add(a.total_nops);
+      chain_nops.add(b.total_nops);
+      affected.add(a.total_nops != b.total_nops ? 100 : 0);
+      int chained = 0;
+      for (const CompiledBlock& cb : b.blocks) chained += cb.chained;
+      chained_blocks.add(chained);
+    }
+
+    std::cout << pad_right(machine.name(), 20) << " drain "
+              << pad_left(compact_double(drain_nops.mean(), 4), 8)
+              << "  chain "
+              << pad_left(compact_double(chain_nops.mean(), 4), 8)
+              << "  programs affected "
+              << pad_left(compact_double(affected.mean(), 3) + "%", 8)
+              << "  chainable blocks/program "
+              << compact_double(chained_blocks.mean(), 3) << "\n";
+    csv.row_of(machine.name(), drain_nops.mean(), chain_nops.mean(),
+               affected.mean(), chained_blocks.mean());
+  }
+
+  std::cout
+      << "\nchain > drain would be delay the drained analysis fails to\n"
+         "account for at fall-through boundaries. The measured result is a\n"
+         "NEGATIVE one, and provably so for this compilation model: every\n"
+         "generated block ends with Store instructions that wait out their\n"
+         "producers' full latency, so at block exit each unit's last issue\n"
+         "is at least `latency` cycles old; with enqueue <= latency on\n"
+         "every machine here, all units are free again by the successor's\n"
+         "first slot — store-terminated blocks SELF-DRAIN, and footnote\n"
+         "1's initial-condition adjustment only matters for machines with\n"
+         "enqueue > latency or for cross-block register communication\n"
+         "(beyond the paper's memory-communication model). The hand-built\n"
+         "non-store-terminated case in test_program.cpp shows the\n"
+         "mechanism binding.\n"
+      << "CSV written to boundary.csv\n";
+  return 0;
+}

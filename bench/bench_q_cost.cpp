@@ -1,0 +1,151 @@
+// Section 2.3 micro-benchmarks (google-benchmark): the cost of one
+// application of the schedule-evaluation procedure "Q", the incremental
+// placement step, and whole-block scheduling.
+//
+// 1990 anchors: one Q application took ~0.12ms (Gould NP1) / ~0.3ms
+// (Sun 3/50); 15! applications would have taken ~5 years. The proposed
+// pruning scheduled the same 15-instruction block in ~0.01s.
+#include <benchmark/benchmark.h>
+
+#include "ir/dag.hpp"
+#include "sched/exhaustive_scheduler.hpp"
+#include "sched/greedy_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/optimal_scheduler.hpp"
+#include "synth/generator.hpp"
+
+namespace {
+
+using namespace pipesched;
+
+/// A deterministic ~15-instruction block (the paper's "typical block").
+BasicBlock typical_block(std::uint64_t seed = 4) {
+  for (std::uint64_t s = seed; s < seed + 5000; ++s) {
+    GeneratorParams params;
+    params.statements = 8;
+    params.variables = 5;
+    params.constants = 2;
+    params.seed = s;
+    BasicBlock block = generate_block(params);
+    if (block.size() == 15) return block;
+  }
+  throw Error("no 15-instruction block found");
+}
+
+void BM_Q_FullEvaluation(benchmark::State& state) {
+  const BasicBlock block = typical_block();
+  const Machine machine = Machine::paper_simulation();
+  const DepGraph dag(block);
+  const std::vector<TupleIndex> order = list_schedule_order(dag);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_order(machine, dag, order));
+  }
+  state.SetLabel("one Q application; paper: ~120-300us in 1990");
+}
+BENCHMARK(BM_Q_FullEvaluation);
+
+void BM_IncrementalPlacement(benchmark::State& state) {
+  const BasicBlock block = typical_block();
+  const Machine machine = Machine::paper_simulation();
+  const DepGraph dag(block);
+  const std::vector<TupleIndex> order = list_schedule_order(dag);
+  PipelineTimer timer(machine, dag);
+  for (TupleIndex t : order) timer.push(t);
+  timer.pop();
+  const TupleIndex last = order.back();
+  for (auto _ : state) {
+    timer.push(last);
+    timer.pop();
+  }
+  state.SetLabel("one push/pop at full depth");
+}
+BENCHMARK(BM_IncrementalPlacement);
+
+void BM_DagConstruction(benchmark::State& state) {
+  const BasicBlock block = typical_block();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DepGraph(block));
+  }
+}
+BENCHMARK(BM_DagConstruction);
+
+void BM_ListSchedule(benchmark::State& state) {
+  const BasicBlock block = typical_block();
+  const DepGraph dag(block);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list_schedule_order(dag));
+  }
+}
+BENCHMARK(BM_ListSchedule);
+
+void BM_GreedySchedule(benchmark::State& state) {
+  const BasicBlock block = typical_block();
+  const Machine machine = Machine::paper_simulation();
+  const DepGraph dag(block);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_schedule(machine, dag));
+  }
+}
+BENCHMARK(BM_GreedySchedule);
+
+void BM_OptimalSchedule_TypicalBlock(benchmark::State& state) {
+  const BasicBlock block = typical_block();
+  const Machine machine = Machine::paper_simulation();
+  const DepGraph dag(block);
+  SearchConfig config;
+  config.curtail_lambda = 0;  // to exhaustion
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_schedule(machine, dag, config));
+  }
+  state.SetLabel("provably optimal, 15-instr block; paper: ~0.01s in 1990");
+}
+BENCHMARK(BM_OptimalSchedule_TypicalBlock);
+
+void BM_OptimalSchedule_BySize(benchmark::State& state) {
+  // Sweep block size; the per-block cost growth mirrors Figure 6.
+  const auto target = static_cast<std::size_t>(state.range(0));
+  GeneratorParams params;
+  params.statements = static_cast<int>(target) / 2 + 1;
+  params.variables = 5;
+  params.constants = 2;
+  BasicBlock block;
+  for (params.seed = 1;; ++params.seed) {
+    block = generate_block(params);
+    if (block.size() == target) break;
+    if (params.seed > 20000) {
+      state.SkipWithError("no block of requested size");
+      return;
+    }
+  }
+  const Machine machine = Machine::paper_simulation();
+  const DepGraph dag(block);
+  SearchConfig config;
+  config.curtail_lambda = 50000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_schedule(machine, dag, config));
+  }
+}
+BENCHMARK(BM_OptimalSchedule_BySize)->Arg(8)->Arg(12)->Arg(16)->Arg(20)->Arg(24);
+
+void BM_ExhaustiveSchedule_TenInstructions(benchmark::State& state) {
+  GeneratorParams params;
+  params.statements = 5;
+  params.variables = 4;
+  params.constants = 2;
+  BasicBlock block;
+  for (params.seed = 1;; ++params.seed) {
+    block = generate_block(params);
+    if (block.size() == 10) break;
+  }
+  const Machine machine = Machine::paper_simulation();
+  const DepGraph dag(block);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exhaustive_schedule(machine, dag));
+  }
+  state.SetLabel("all legal orders of a 10-instr block");
+}
+BENCHMARK(BM_ExhaustiveSchedule_TenInstructions);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Domain example: a 4-tap FIR filter step — the multiply-heavy,
+// latency-sensitive kernel the paper's introduction motivates.
+//
+//   ./fir_filter
+//
+// The unrolled tap computation issues a Load and a Mul per tap; compiled
+// naively each multiply waits on its load and the accumulation chain waits
+// on each multiply. The optimal scheduler overlaps loads with multiplies
+// across taps and hides nearly all of the latency. The example prints the
+// NOP counts of the original, greedy, and optimal schedules and the
+// resulting speedups, plus a pipeline-occupancy trace.
+#include <iostream>
+
+#include "core/compiler.hpp"
+#include "ir/dag.hpp"
+#include "sim/simulator.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace pipesched;
+
+  // y = c0*x0 + c1*x1 + c2*x2 + c3*x3, accumulated pairwise.
+  const std::string source =
+      "t0 = c0 * x0;\n"
+      "t1 = c1 * x1;\n"
+      "t2 = c2 * x2;\n"
+      "t3 = c3 * x3;\n"
+      "lo = t0 + t1;\n"
+      "hi = t2 + t3;\n"
+      "y  = lo + hi;\n";
+  std::cout << "4-tap FIR step:\n" << source << "\n";
+
+  const Machine machine = Machine::paper_simulation();
+
+  auto nops_for = [&](SchedulerKind kind) {
+    CompileOptions options;
+    options.machine = machine;
+    options.scheduler = kind;
+    options.search.curtail_lambda = 0;  // small kernel: search to proof
+    return compile_source(source, options);
+  };
+
+  const CompileResult original = nops_for(SchedulerKind::Original);
+  const CompileResult greedy = nops_for(SchedulerKind::Greedy);
+  const CompileResult optimal = nops_for(SchedulerKind::Optimal);
+
+  const auto cycles = [](const CompileResult& r) {
+    return r.schedule.completion_cycle();
+  };
+  std::cout << pad_right("scheduler", 12) << pad_left("NOPs", 8)
+            << pad_left("cycles", 9) << pad_left("speedup", 10) << "\n";
+  const auto row = [&](const char* name, const CompileResult& r) {
+    std::cout << pad_right(name, 12)
+              << pad_left(std::to_string(r.schedule.total_nops()), 8)
+              << pad_left(std::to_string(cycles(r)), 9)
+              << pad_left(
+                     compact_double(
+                         static_cast<double>(cycles(original)) / cycles(r), 3) +
+                         "x",
+                     10)
+              << "\n";
+  };
+  row("original", original);
+  row("greedy", greedy);
+  row("optimal", optimal);
+
+  std::cout << "\noptimal schedule ("
+            << optimal.stats.omega_calls << " placements searched, "
+            << (optimal.stats.completed ? "provably optimal" : "curtailed")
+            << "):\n"
+            << optimal.schedule.to_string(optimal.block, machine) << "\n";
+
+  const DepGraph dag(optimal.block);
+  const SimResult sim =
+      simulate_interlocked(machine, dag, optimal.schedule.order);
+  std::cout << "pipeline occupancy:\n"
+            << render_pipeline_trace(machine, optimal.block, sim) << "\n";
+
+  std::cout << "assembly:\n" << optimal.assembly;
+  return 0;
+}

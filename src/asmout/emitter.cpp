@@ -1,0 +1,191 @@
+#include "asmout/emitter.hpp"
+
+#include "ir/dag.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace pipesched {
+
+namespace {
+
+std::string reg_name(const Allocation& allocation, TupleIndex t) {
+  const int reg = allocation.reg_of[static_cast<std::size_t>(t)];
+  PS_CHECK(reg >= 0, "tuple " << t + 1 << " has no register assigned");
+  return "r" + std::to_string(reg);
+}
+
+std::string operand_text(const BasicBlock& block,
+                         const Allocation& allocation, const Operand& o) {
+  switch (o.kind) {
+    case Operand::Kind::Var:
+      return block.var_name(o.var);
+    case Operand::Kind::Ref:
+      return reg_name(allocation, o.ref);
+    case Operand::Kind::Imm:
+      return "#" + std::to_string(o.imm);
+    case Operand::Kind::None:
+      return "";
+  }
+  return "";
+}
+
+std::string mnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::Const:
+      return "li";
+    case Opcode::Load:
+      return "ld";
+    case Opcode::Store:
+      return "st";
+    case Opcode::Mov:
+      return "mov";
+    case Opcode::Neg:
+      return "neg";
+    case Opcode::Add:
+      return "add";
+    case Opcode::Sub:
+      return "sub";
+    case Opcode::Mul:
+      return "mul";
+    case Opcode::Div:
+      return "div";
+  }
+  return "?";
+}
+
+std::string instruction_text(const BasicBlock& block,
+                             const Allocation& allocation, TupleIndex t) {
+  const Tuple& tuple = block.tuple(t);
+  std::ostringstream oss;
+  oss << pad_right(mnemonic(tuple.op), 5);
+  if (tuple.op == Opcode::Store) {
+    // st value -> variable
+    oss << operand_text(block, allocation, tuple.b) << ", "
+        << operand_text(block, allocation, tuple.a);
+    return oss.str();
+  }
+  oss << reg_name(allocation, t);
+  if (opcode_arity(tuple.op) >= 1) {
+    oss << ", " << operand_text(block, allocation, tuple.a);
+  }
+  if (opcode_arity(tuple.op) >= 2) {
+    oss << ", " << operand_text(block, allocation, tuple.b);
+  }
+  return oss.str();
+}
+
+}  // namespace
+
+std::vector<int> tera_sync_counts(const BasicBlock& block,
+                                  const Machine& machine,
+                                  const Schedule& schedule) {
+  const DepGraph dag(block);
+  std::vector<int> counts(schedule.order.size(), 0);
+  for (std::size_t i = 0; i < schedule.order.size(); ++i) {
+    const TupleIndex t = schedule.order[i];
+    int latest = -1;  // position of the latest constraining instruction
+    for (TupleIndex p : dag.preds(t)) {
+      latest = std::max(latest, schedule.position_of(p) - 1);
+    }
+    const auto& units = machine.pipelines_for(block.tuple(t).op);
+    if (!units.empty()) {
+      for (std::size_t j = i; j-- > 0;) {
+        const Opcode other = block.tuple(schedule.order[j]).op;
+        if (machine.pipelines_for(other) == units) {
+          latest = std::max(latest, static_cast<int>(j));
+          break;
+        }
+      }
+    }
+    counts[i] = latest < 0 ? 0 : static_cast<int>(i) - latest;
+  }
+  return counts;
+}
+
+std::vector<unsigned> carp_wait_masks(const BasicBlock& block,
+                                      const Machine& machine,
+                                      const Schedule& schedule) {
+  PS_CHECK(machine.pipeline_count() <= 32,
+           "CARP masks support at most 32 pipeline units");
+  const DepGraph dag(block);
+  std::vector<unsigned> masks(schedule.order.size(), 0);
+  for (std::size_t i = 0; i < schedule.order.size(); ++i) {
+    const TupleIndex t = schedule.order[i];
+    const int issue = schedule.issue_cycle[i];
+    unsigned mask = 0;
+    // Dependences whose producer latency reaches this issue cycle.
+    for (TupleIndex p : dag.preds(t)) {
+      const int pos = schedule.position_of(p) - 1;
+      PS_ASSERT(pos >= 0);
+      const PipelineId unit = schedule.unit[static_cast<std::size_t>(pos)];
+      if (unit == kNoPipeline) continue;
+      if (schedule.issue_cycle[static_cast<std::size_t>(pos)] +
+              machine.pipeline(unit).latency ==
+          issue) {
+        mask |= 1u << unit;
+      }
+    }
+    // A binding enqueue conflict on the instruction's own unit.
+    const PipelineId own = schedule.unit[i];
+    if (own != kNoPipeline) {
+      for (std::size_t j = i; j-- > 0;) {
+        if (schedule.unit[j] != own) continue;
+        if (schedule.issue_cycle[j] + machine.pipeline(own).enqueue ==
+            issue) {
+          mask |= 1u << own;
+        }
+        break;
+      }
+    }
+    masks[i] = mask;
+  }
+  return masks;
+}
+
+std::string emit_assembly(const BasicBlock& block, const Machine& machine,
+                          const Schedule& schedule,
+                          const Allocation& allocation,
+                          const EmitOptions& options) {
+  PS_CHECK(allocation.reg_of.size() == block.size(),
+           "allocation does not cover the block");
+  std::vector<int> sync_counts;
+  std::vector<unsigned> wait_masks;
+  if (options.mechanism == DelayMechanism::TeraCount) {
+    sync_counts = tera_sync_counts(block, machine, schedule);
+  } else if (options.mechanism == DelayMechanism::CarpMask) {
+    wait_masks = carp_wait_masks(block, machine, schedule);
+  }
+
+  std::ostringstream oss;
+  if (!block.label().empty()) oss << block.label() << ":\n";
+  for (std::size_t i = 0; i < schedule.order.size(); ++i) {
+    if (options.mechanism == DelayMechanism::NopPadding) {
+      for (int k = 0; k < schedule.nops[i]; ++k) oss << "    nop\n";
+    }
+    std::string text = "    " + instruction_text(block, allocation,
+                                                 schedule.order[i]);
+    if (options.mechanism == DelayMechanism::ExplicitInterlock) {
+      text += "  wait=" + std::to_string(schedule.nops[i]);
+    } else if (options.mechanism == DelayMechanism::TeraCount) {
+      text += "  sync=" + std::to_string(sync_counts[i]);
+    } else if (options.mechanism == DelayMechanism::CarpMask) {
+      text += "  mask=" + std::to_string(wait_masks[i]);
+    }
+    if (options.comments) {
+      text = pad_right(text, 36) + "; cycle " +
+             std::to_string(schedule.issue_cycle[i]);
+      if (schedule.unit[i] != kNoPipeline) {
+        text += ", " + machine.pipeline(schedule.unit[i]).function + " #" +
+                std::to_string(schedule.unit[i] + 1);
+      }
+    }
+    oss << text << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace pipesched

@@ -1,0 +1,65 @@
+// Final code generation (paper Sections 3.4 and 2.2).
+//
+// Converts a scheduled, register-allocated block into textual target
+// assembly. Each tuple maps to exactly one instruction; delays are
+// rendered per the selected architectural mechanism:
+//
+//   NopPadding        explicit NOP instructions fill every delay slot
+//                     (MIPS-style; the default throughout the paper);
+//   ImplicitInterlock no delay encoding at all — hardware interlocks
+//                     (IBM 801 / SPARC style);
+//   ExplicitInterlock each instruction carries the stall cycles it must
+//                     wait after the previous issue, "wait=<n>";
+//   TeraCount         each instruction carries the number of instructions
+//                     back to the latest one it depends on or conflicts
+//                     with ("sync=<d>"), the Tera encoding [Smi88];
+//   CarpMask          each instruction carries a bit mask of the pipeline
+//                     resources whose in-flight operation it must wait
+//                     for ("mask=<bits>"), the CARP encoding [DiS89].
+#pragma once
+
+#include <string>
+
+#include "ir/dag.hpp"
+#include "machine/machine.hpp"
+#include "regalloc/regalloc.hpp"
+#include "sched/schedule.hpp"
+
+namespace pipesched {
+
+enum class DelayMechanism {
+  NopPadding,
+  ImplicitInterlock,
+  ExplicitInterlock,
+  TeraCount,
+  CarpMask,
+};
+
+/// Per-instruction Tera-style counts for a schedule: distance, in
+/// instructions, back to the latest earlier instruction this one depends
+/// on or conflicts with (0 = unconstrained).
+std::vector<int> tera_sync_counts(const BasicBlock& block,
+                                  const Machine& machine,
+                                  const Schedule& schedule);
+
+/// Per-instruction CARP-style wait masks: bit u set when pipeline unit
+/// u's in-flight operation is a binding constraint on this instruction's
+/// issue cycle (a dependence whose latency, or a conflict whose enqueue
+/// window, reaches the instruction's issue).
+std::vector<unsigned> carp_wait_masks(const BasicBlock& block,
+                                      const Machine& machine,
+                                      const Schedule& schedule);
+
+struct EmitOptions {
+  DelayMechanism mechanism = DelayMechanism::NopPadding;
+  bool comments = true;  ///< append issue cycles / pipeline units
+};
+
+/// Render the scheduled block as assembly text. The allocation must cover
+/// the block (as produced by linear_scan on schedule.order).
+std::string emit_assembly(const BasicBlock& block, const Machine& machine,
+                          const Schedule& schedule,
+                          const Allocation& allocation,
+                          const EmitOptions& options = {});
+
+}  // namespace pipesched

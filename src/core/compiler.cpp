@@ -1,0 +1,156 @@
+#include "core/compiler.hpp"
+
+#include "frontend/codegen.hpp"
+#include "frontend/opt/passes.hpp"
+#include "frontend/parser.hpp"
+#include "regalloc/spill.hpp"
+#include "sched/exhaustive_scheduler.hpp"
+#include "sched/greedy_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pipesched {
+
+const char* scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::Original:
+      return "original";
+    case SchedulerKind::List:
+      return "list";
+    case SchedulerKind::Greedy:
+      return "greedy";
+    case SchedulerKind::Optimal:
+      return "optimal";
+    case SchedulerKind::Exhaustive:
+      return "exhaustive";
+  }
+  return "?";
+}
+
+Schedule run_scheduler(SchedulerKind kind, const Machine& machine,
+                       const DepGraph& dag, const SearchConfig& search,
+                       SearchStats* stats, const PipelineState& initial) {
+  Timer wall;
+  Schedule schedule;
+  SearchStats local;
+  switch (kind) {
+    case SchedulerKind::Original: {
+      std::vector<TupleIndex> order(dag.size());
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = static_cast<TupleIndex>(i);
+      }
+      schedule = evaluate_order(machine, dag, order, initial);
+      break;
+    }
+    case SchedulerKind::List:
+      schedule = list_schedule(machine, dag, initial);
+      break;
+    case SchedulerKind::Greedy:
+      schedule = greedy_schedule(machine, dag, initial);
+      break;
+    case SchedulerKind::Optimal: {
+      OptimalResult result = optimal_schedule(machine, dag, search, initial);
+      schedule = std::move(result.best);
+      local = result.stats;
+      break;
+    }
+    case SchedulerKind::Exhaustive: {
+      ExhaustiveResult result = exhaustive_schedule(machine, dag);
+      schedule = std::move(result.best);
+      local.schedules_examined = result.schedules_examined;
+      local.omega_calls = result.schedules_examined;
+      local.completed = result.completed;
+      break;
+    }
+  }
+  local.best_nops = schedule.total_nops();
+  if (kind != SchedulerKind::Optimal) local.initial_nops = local.best_nops;
+  local.seconds = wall.seconds();
+  if (stats) *stats = local;
+  return schedule;
+}
+
+namespace {
+
+BasicBlock prepare_block(const BasicBlock& block,
+                         const CompileOptions& options) {
+  BasicBlock prepared =
+      options.optimize ? run_standard_pipeline(block) : block;
+  if (options.reassociate) {
+    prepared = reassociation(prepared).block;
+    prepared = dead_code_elimination(prepared).block;
+  }
+  return prepared;
+}
+
+}  // namespace
+
+CompileResult compile_block(const BasicBlock& block,
+                            const CompileOptions& options) {
+  CompileResult result;
+  result.block = prepare_block(block, options);
+  result.block.validate();
+
+  const DepGraph dag(result.block);
+  result.schedule = run_scheduler(options.scheduler, options.machine, dag,
+                                  options.search, &result.stats);
+  result.allocation =
+      linear_scan(result.block, result.schedule.order, options.registers);
+  result.assembly = emit_assembly(result.block, options.machine,
+                                  result.schedule, result.allocation,
+                                  options.emit);
+  return result;
+}
+
+CompileResult compile_source(const std::string& source,
+                             const CompileOptions& options) {
+  const SourceProgram program = parse_source(source);
+  return compile_block(generate_tuples(program), options);
+}
+
+RegisterLimitedResult compile_with_register_limit(const BasicBlock& block,
+                                                  CompileOptions options) {
+  PS_CHECK(options.registers >= 3,
+           "register-limited compilation needs at least 3 registers");
+  RegisterLimitedResult result;
+  CompileResult& out = result.compiled;
+
+  out.block = prepare_block(block, options);
+
+  // Step 2: spill until the (safe) original order fits the file.
+  if (block_max_live(out.block) > options.registers) {
+    SpillResult spilled = insert_spill_code(out.block, options.registers);
+    out.block = std::move(spilled.block);
+    result.values_spilled = spilled.values_spilled;
+  }
+
+  // Step 3: pressure-constrained search.
+  const DepGraph dag(out.block);
+  SearchConfig search = options.search;
+  search.max_live_registers = options.registers;
+  const OptimalResult searched =
+      optimal_schedule(options.machine, dag, search);
+  result.scheduler_feasible = searched.stats.feasible;
+  out.stats = searched.stats;
+  if (searched.stats.feasible) {
+    out.schedule = searched.best;
+  } else {
+    // The post-spill original order is feasible by construction.
+    std::vector<TupleIndex> order(out.block.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<TupleIndex>(i);
+    }
+    out.schedule = evaluate_order(options.machine, dag, order);
+    out.stats.best_nops = out.schedule.total_nops();
+  }
+
+  out.allocation =
+      linear_scan(out.block, out.schedule.order, options.registers);
+  PS_ASSERT(out.allocation.registers_used <= options.registers);
+  out.assembly = emit_assembly(out.block, options.machine, out.schedule,
+                               out.allocation, options.emit);
+  return result;
+}
+
+}  // namespace pipesched

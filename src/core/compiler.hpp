@@ -1,0 +1,91 @@
+// End-to-end compiler driver (paper Figure 2):
+//
+//   source --> optimized tuple generation --> list scheduler
+//          --> pipeline scheduler --> register allocation
+//          --> code generation
+//
+// compile_source()/compile_block() run the whole back end with one call;
+// run_scheduler() exposes the scheduler stage alone for experiments that
+// compare scheduling policies on the same block.
+#pragma once
+
+#include <string>
+
+#include "asmout/emitter.hpp"
+#include "frontend/ast.hpp"
+#include "ir/block.hpp"
+#include "machine/machine.hpp"
+#include "regalloc/regalloc.hpp"
+#include "sched/optimal_scheduler.hpp"
+#include "sched/schedule.hpp"
+
+namespace pipesched {
+
+enum class SchedulerKind {
+  Original,    ///< keep front-end order (NOPs inserted, no reordering)
+  List,        ///< machine-independent list heuristic (Section 3.2)
+  Greedy,      ///< Gross-style machine-aware heuristic baseline
+  Optimal,     ///< branch-and-bound search (Section 4.2.3)
+  Exhaustive,  ///< all legal orders (ground truth; small blocks only)
+};
+
+const char* scheduler_kind_name(SchedulerKind kind);
+
+struct CompileOptions {
+  Machine machine = Machine::paper_simulation();
+  SchedulerKind scheduler = SchedulerKind::Optimal;
+  SearchConfig search;      ///< used by SchedulerKind::Optimal
+  bool optimize = true;     ///< run the standard pass pipeline first
+  bool reassociate = false; ///< + reassociation (balances Add/Mul trees to
+                            ///< shorten the critical path; extension pass)
+  int registers = 32;       ///< register file size for allocation
+  EmitOptions emit;
+};
+
+struct CompileResult {
+  BasicBlock block;       ///< tuple code the scheduler consumed
+  Schedule schedule;
+  SearchStats stats;      ///< search counters (Optimal); timing for others
+  Allocation allocation;
+  std::string assembly;
+};
+
+/// Parse, optimize, schedule, allocate and emit one source block.
+CompileResult compile_source(const std::string& source,
+                             const CompileOptions& options = {});
+
+/// Same pipeline starting from already-generated tuple code.
+CompileResult compile_block(const BasicBlock& block,
+                            const CompileOptions& options = {});
+
+/// Outcome of register-limited compilation (Section 3.1's discipline):
+/// spill code is created BEFORE scheduling so that allocation afterwards
+/// can never need new spills, and the scheduler itself is barred from
+/// exceeding the register file.
+struct RegisterLimitedResult {
+  CompileResult compiled;
+  int values_spilled = 0;       ///< spill temporaries introduced
+  bool scheduler_feasible = true;  ///< constrained search found a schedule
+                                   ///< (else the safe original order is used)
+};
+
+/// Compile `block` so the final code provably fits in
+/// `options.registers` registers:
+///   1. optimize;
+///   2. insert spill code until original-order pressure fits;
+///   3. run the pressure-constrained optimal scheduler;
+///   4. allocate (guaranteed spill-free) and emit.
+/// Requires options.registers >= 3.
+RegisterLimitedResult compile_with_register_limit(const BasicBlock& block,
+                                                  CompileOptions options);
+
+/// Run one scheduling policy on a prepared DAG. `stats` (optional)
+/// receives search counters; heuristic schedulers fill timing fields only.
+/// `initial` carries residual pipeline occupancy at block entry (ignored
+/// by the exhaustive scheduler, which is defined on drained pipelines).
+Schedule run_scheduler(SchedulerKind kind, const Machine& machine,
+                       const DepGraph& dag, const SearchConfig& search,
+                       SearchStats* stats = nullptr,
+                       const PipelineState& initial = {});
+
+}  // namespace pipesched

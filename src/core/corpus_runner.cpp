@@ -1,0 +1,116 @@
+#include "core/corpus_runner.hpp"
+
+#include <sstream>
+
+#include "ir/dag.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pipesched {
+
+std::vector<RunRecord> run_corpus(const std::vector<GeneratorParams>& params,
+                                  const CorpusRunOptions& options) {
+  std::vector<RunRecord> records(params.size());
+  ThreadPool pool(options.threads);
+  parallel_for_each(pool, params.size(), [&](std::size_t i) {
+    const BasicBlock block = generate_block(params[i]);
+    RunRecord& record = records[i];
+    record.block_size = static_cast<int>(block.size());
+    if (block.empty()) return;  // fully optimized away; trivially optimal
+    const DepGraph dag(block);
+    const OptimalResult result =
+        optimal_schedule(options.machine, dag, options.search);
+    record.initial_nops = result.stats.initial_nops;
+    record.final_nops = result.stats.best_nops;
+    record.omega_calls = result.stats.omega_calls;
+    record.schedules_examined = result.stats.schedules_examined;
+    record.completed = result.stats.completed;
+    record.seconds = result.stats.seconds;
+  });
+  return records;
+}
+
+namespace {
+
+void fill_column(CorpusSummary::Column& col, std::size_t total_runs,
+                 const std::vector<const RunRecord*>& records) {
+  col.runs = records.size();
+  col.percent = total_runs
+                    ? 100.0 * static_cast<double>(records.size()) /
+                          static_cast<double>(total_runs)
+                    : 0.0;
+  if (records.empty()) return;
+  double insns = 0;
+  double initial = 0;
+  double final_nops = 0;
+  double omega = 0;
+  double secs = 0;
+  for (const RunRecord* r : records) {
+    insns += r->block_size;
+    initial += r->initial_nops;
+    final_nops += r->final_nops;
+    omega += static_cast<double>(r->omega_calls);
+    secs += r->seconds;
+  }
+  const auto n = static_cast<double>(records.size());
+  col.avg_instructions = insns / n;
+  col.avg_initial_nops = initial / n;
+  col.avg_final_nops = final_nops / n;
+  col.avg_omega_calls = omega / n;
+  col.avg_seconds = secs / n;
+}
+
+}  // namespace
+
+CorpusSummary summarize_corpus(const std::vector<RunRecord>& records) {
+  std::vector<const RunRecord*> completed;
+  std::vector<const RunRecord*> truncated;
+  std::vector<const RunRecord*> all;
+  for (const RunRecord& r : records) {
+    all.push_back(&r);
+    (r.completed ? completed : truncated).push_back(&r);
+  }
+  CorpusSummary summary;
+  fill_column(summary.completed, records.size(), completed);
+  fill_column(summary.truncated, records.size(), truncated);
+  fill_column(summary.total, records.size(), all);
+  return summary;
+}
+
+std::string render_corpus_summary(const CorpusSummary& summary) {
+  std::ostringstream oss;
+  auto row = [&](const std::string& label, auto get) {
+    oss << pad_right(label, 30) << pad_left(get(summary.completed), 14)
+        << pad_left(get(summary.truncated), 14)
+        << pad_left(get(summary.total), 14) << "\n";
+  };
+  oss << pad_right("", 30) << pad_left("Completed", 14)
+      << pad_left("Truncated", 14) << pad_left("Totals", 14) << "\n";
+  oss << pad_right("", 30) << pad_left("(Optimal)", 14)
+      << pad_left("(Suboptimal?)", 14) << pad_left("", 14) << "\n";
+  row("Number of Runs", [](const CorpusSummary::Column& c) {
+    return std::to_string(c.runs);
+  });
+  row("Percentage of Runs", [](const CorpusSummary::Column& c) {
+    return compact_double(c.percent, 4) + "%";
+  });
+  row("Avg. Instructions/Block", [](const CorpusSummary::Column& c) {
+    return compact_double(c.avg_instructions, 4);
+  });
+  row("Avg. Initial NOPs", [](const CorpusSummary::Column& c) {
+    return compact_double(c.avg_initial_nops, 3);
+  });
+  row("Avg. Final NOPs", [](const CorpusSummary::Column& c) {
+    return compact_double(c.avg_final_nops, 3);
+  });
+  row("Avg. Omega Calls", [](const CorpusSummary::Column& c) {
+    return compact_double(c.avg_omega_calls, 4);
+  });
+  row("Avg. Search Time", [](const CorpusSummary::Column& c) {
+    return compact_double(c.avg_seconds * 1e6, 3) + "us";
+  });
+  return oss.str();
+}
+
+}  // namespace pipesched

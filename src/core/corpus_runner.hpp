@@ -1,0 +1,60 @@
+// Corpus experiment harness: run a scheduling policy over thousands of
+// generated blocks (in parallel — blocks are independent) and aggregate
+// the statistics the paper's Table 7 and Figures 1/4/5/6/7 report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "sched/optimal_scheduler.hpp"
+#include "synth/corpus.hpp"
+
+namespace pipesched {
+
+/// Per-block outcome of one corpus run.
+struct RunRecord {
+  int block_size = 0;       ///< instructions after optimization
+  int initial_nops = 0;     ///< NOPs of the list (seed) schedule
+  int final_nops = 0;       ///< NOPs of the best schedule found
+  std::uint64_t omega_calls = 0;
+  std::uint64_t schedules_examined = 0;
+  bool completed = true;    ///< condition [1] (provably optimal)
+  double seconds = 0.0;
+};
+
+struct CorpusRunOptions {
+  Machine machine = Machine::paper_simulation();
+  SearchConfig search;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Generate each parameter set's block and schedule it with the
+/// branch-and-bound scheduler. Results are indexed like `params`
+/// (deterministic regardless of thread interleaving).
+std::vector<RunRecord> run_corpus(const std::vector<GeneratorParams>& params,
+                                  const CorpusRunOptions& options);
+
+/// Aggregate statistics in the shape of the paper's Table 7: one column
+/// for completed (optimal) runs, one for truncated runs, one for totals.
+struct CorpusSummary {
+  struct Column {
+    std::size_t runs = 0;
+    double percent = 0;
+    double avg_instructions = 0;
+    double avg_initial_nops = 0;
+    double avg_final_nops = 0;
+    double avg_omega_calls = 0;
+    double avg_seconds = 0;
+  };
+  Column completed;
+  Column truncated;
+  Column total;
+};
+
+CorpusSummary summarize_corpus(const std::vector<RunRecord>& records);
+
+/// Render the Table 7 layout.
+std::string render_corpus_summary(const CorpusSummary& summary);
+
+}  // namespace pipesched

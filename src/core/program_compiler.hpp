@@ -1,0 +1,60 @@
+// Whole-program compilation: every basic block of a CFG through the
+// Figure 2 back end, with block-boundary pipeline handling per the paper's
+// footnote 1 ("interactions between adjacent blocks can be managed ...
+// essentially by modifying the initial conditions in the analysis for
+// each block").
+//
+// Boundary modes:
+//   Drain  every block is scheduled assuming empty pipelines at entry
+//          (safe for any predecessor mix — the conservative default);
+//   Chain  a block whose ONLY predecessor is the layout-preceding block's
+//          fall-through edge inherits that block's residual pipeline
+//          occupancy, letting the scheduler hide latency across the cut;
+//          all other blocks drain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "ir/program.hpp"
+
+namespace pipesched {
+
+enum class BoundaryMode { Drain, Chain };
+
+struct ProgramCompileOptions {
+  CompileOptions block;  ///< per-block pipeline (machine, scheduler, ...)
+  BoundaryMode boundary = BoundaryMode::Drain;
+};
+
+/// Per-block compilation record.
+struct CompiledBlock {
+  BasicBlock optimized;   ///< tuple code the scheduler consumed
+  Schedule schedule;
+  SearchStats stats;
+  Allocation allocation;
+  bool chained = false;   ///< entry state inherited from the predecessor
+};
+
+struct ProgramCompileResult {
+  std::vector<CompiledBlock> blocks;
+  std::string assembly;      ///< full listing with labels and branches
+  int total_instructions = 0;
+  int total_nops = 0;
+};
+
+/// Compile a CFG program. Terminators are preserved; per-block schedules
+/// honor the boundary mode.
+ProgramCompileResult compile_program(const Program& program,
+                                     const ProgramCompileOptions& options = {});
+
+/// Parse + lower + compile source with arbitrary structured control flow.
+ProgramCompileResult compile_program_source(
+    const std::string& source, const ProgramCompileOptions& options = {});
+
+/// The optimized program (same CFG, each block optimized) — used by tests
+/// to check semantic preservation through the whole pipeline.
+Program optimize_program(const Program& program);
+
+}  // namespace pipesched

@@ -1,0 +1,85 @@
+#include "core/superblock.hpp"
+
+#include "util/check.hpp"
+
+namespace pipesched {
+
+BasicBlock concatenate_blocks(const BasicBlock& a, const BasicBlock& b) {
+  BasicBlock out(a.label());
+  for (std::size_t v = 0; v < a.var_count(); ++v) {
+    out.var_id(a.var_name(static_cast<VarId>(v)));
+  }
+  for (const Tuple& t : a.tuples()) out.append(t);
+
+  const auto offset = static_cast<TupleIndex>(a.size());
+  std::vector<VarId> var_map(b.var_count());
+  for (std::size_t v = 0; v < b.var_count(); ++v) {
+    var_map[v] = out.var_id(b.var_name(static_cast<VarId>(v)));
+  }
+  for (const Tuple& t : b.tuples()) {
+    Tuple moved = t;
+    for (Operand* o : {&moved.a, &moved.b}) {
+      if (o->is_ref()) {
+        *o = Operand::of_ref(o->ref + offset);
+      } else if (o->is_var()) {
+        *o = Operand::of_var(var_map[static_cast<std::size_t>(o->var)]);
+      }
+    }
+    out.append(moved);
+  }
+  out.validate();
+  return out;
+}
+
+SuperblockResult merge_linear_chains(const Program& program) {
+  program.validate();
+  SuperblockResult result;
+  const std::vector<int> preds = program.predecessor_counts();
+  const auto n = static_cast<BlockId>(program.size());
+
+  // An edge from block i to i+1 collapses when it is unconditional
+  // (fall-through, or a jump straight to the next block) and i+1 has no
+  // other predecessor.
+  auto collapses_into_next = [&](BlockId i) {
+    if (i + 1 >= n) return false;
+    const Terminator& term = program.block(i).term;
+    const bool unconditional =
+        term.kind == Terminator::Kind::FallThrough ||
+        (term.kind == Terminator::Kind::Jump && term.target == i + 1);
+    return unconditional && preds[static_cast<std::size_t>(i) + 1] == 1;
+  };
+
+  // Chain heads and the id mapping old -> new.
+  std::vector<BlockId> new_id(program.size(), -1);
+  for (BlockId i = 0; i < n;) {
+    BasicBlock merged = program.block(i).block;
+    new_id[static_cast<std::size_t>(i)] =
+        static_cast<BlockId>(result.program.size());
+    BlockId j = i;
+    while (collapses_into_next(j)) {
+      merged = concatenate_blocks(merged, program.block(j + 1).block);
+      ++j;
+      ++result.merges;
+      new_id[static_cast<std::size_t>(j)] =
+          static_cast<BlockId>(result.program.size());
+    }
+    const BlockId id = result.program.add_block();
+    result.program.block_mut(id).block = std::move(merged);
+    result.program.block_mut(id).term = program.block(j).term;
+    i = j + 1;
+  }
+
+  // Remap surviving terminator targets.
+  for (std::size_t i = 0; i < result.program.size(); ++i) {
+    Terminator& term = result.program.block_mut(static_cast<BlockId>(i)).term;
+    if (term.kind == Terminator::Kind::Jump ||
+        term.kind == Terminator::Kind::Branch) {
+      term.target = new_id[static_cast<std::size_t>(term.target)];
+      PS_ASSERT(term.target >= 0);
+    }
+  }
+  result.program.validate();
+  return result;
+}
+
+}  // namespace pipesched

@@ -1,0 +1,63 @@
+#include "frontend/codegen.hpp"
+
+#include "util/check.hpp"
+
+namespace pipesched {
+
+BlockEmitter::BlockEmitter(std::string label) : block_(std::move(label)) {}
+
+TupleIndex BlockEmitter::emit_expr(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::Number:
+      return block_.append(Opcode::Const, Operand::of_imm(e.number));
+    case Expr::Kind::Variable: {
+      const VarId var = block_.var_id(e.variable);
+      if (auto it = current_value_.find(var); it != current_value_.end()) {
+        return it->second;
+      }
+      const TupleIndex load = block_.append(Opcode::Load, Operand::of_var(var));
+      current_value_[var] = load;
+      return load;
+    }
+    case Expr::Kind::Negate:
+      return block_.append(Opcode::Neg, Operand::of_ref(emit_expr(*e.lhs)));
+    default: {
+      const Opcode op = e.kind == Expr::Kind::Add   ? Opcode::Add
+                        : e.kind == Expr::Kind::Sub ? Opcode::Sub
+                        : e.kind == Expr::Kind::Mul ? Opcode::Mul
+                                                    : Opcode::Div;
+      // Evaluation order: left then right, as a one-pass compiler emits.
+      const TupleIndex lhs = emit_expr(*e.lhs);
+      const TupleIndex rhs = emit_expr(*e.rhs);
+      return block_.append(op, Operand::of_ref(lhs), Operand::of_ref(rhs));
+    }
+  }
+}
+
+void BlockEmitter::emit_assign(const std::string& target, const Expr& value) {
+  emit_store(target, emit_expr(value));
+}
+
+void BlockEmitter::emit_store(const std::string& target, TupleIndex value) {
+  const VarId var = block_.var_id(target);
+  block_.append(Opcode::Store, Operand::of_var(var), Operand::of_ref(value));
+  current_value_[var] = value;
+}
+
+BasicBlock BlockEmitter::take() {
+  block_.validate();
+  return std::move(block_);
+}
+
+BasicBlock generate_tuples(const SourceProgram& program, std::string label) {
+  PS_CHECK(program.is_straight_line(),
+           "generate_tuples lowers straight-line programs only; use "
+           "generate_program for control flow");
+  BlockEmitter emitter(std::move(label));
+  for (const Stmt& s : program.statements) {
+    emitter.emit_assign(s.target, *s.value);
+  }
+  return emitter.take();
+}
+
+}  // namespace pipesched

@@ -1,0 +1,56 @@
+// Tuple code generation (paper Section 5.2's rules):
+//
+//   "The first reference to a variable causes a load for that variable to
+//    be generated, and a store is generated when a variable is assigned a
+//    value."
+//
+// Within a block the generator tracks each variable's current value tuple,
+// so a variable read after an assignment reuses the stored value rather
+// than reloading — loads appear only for upward-exposed reads, exactly as
+// in the paper's prototype.
+//
+// BlockEmitter is the reusable per-block lowering engine; generate_tuples
+// wraps it for straight-line programs and the CFG builder
+// (program_codegen.hpp) drives one emitter per basic block.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "frontend/ast.hpp"
+#include "ir/block.hpp"
+
+namespace pipesched {
+
+/// Lowers expressions/assignments into one basic block, maintaining the
+/// per-variable current-value map.
+class BlockEmitter {
+ public:
+  explicit BlockEmitter(std::string label = "");
+
+  /// Lower an expression; returns the tuple holding its value.
+  TupleIndex emit_expr(const Expr& e);
+
+  /// Lower `target = value;`.
+  void emit_assign(const std::string& target, const Expr& value);
+
+  /// Store an already-computed value into a named variable (used for
+  /// branch-condition temporaries).
+  void emit_store(const std::string& target, TupleIndex value);
+
+  bool empty() const { return block_.empty(); }
+
+  /// Finish the block (validated). The emitter must not be reused.
+  BasicBlock take();
+
+ private:
+  BasicBlock block_;
+  std::unordered_map<VarId, TupleIndex> current_value_;
+};
+
+/// Lower a straight-line source program to one basic block (unoptimized).
+/// Throws Error when the program contains control flow.
+BasicBlock generate_tuples(const SourceProgram& program,
+                           std::string label = "");
+
+}  // namespace pipesched

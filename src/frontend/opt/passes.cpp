@@ -1,0 +1,432 @@
+#include "frontend/opt/passes.hpp"
+
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "frontend/opt/rewrite.hpp"
+#include "ir/interp.hpp"
+#include "util/check.hpp"
+
+namespace pipesched {
+
+namespace {
+
+/// Constant value of an old-space operand, looking through the rewriter's
+/// already-emitted output (so folds chain within a single pass).
+std::optional<std::int64_t> const_value(const BlockRewriter& rw,
+                                        const Operand& o) {
+  if (o.is_imm()) return o.imm;
+  if (!o.is_ref()) return std::nullopt;
+  const auto resolved = rw.resolve_new(o.ref);
+  if (!resolved) return std::nullopt;
+  const Tuple& t = rw.emitted(*resolved);
+  if (t.op == Opcode::Const) return t.a.imm;
+  return std::nullopt;
+}
+
+/// NEW-space value index an old-space ref operand resolves to.
+std::optional<TupleIndex> resolved_ref(const BlockRewriter& rw,
+                                       const Operand& o) {
+  if (!o.is_ref()) return std::nullopt;
+  return rw.resolve_new(o.ref);
+}
+
+/// True when the two operands provably carry the same value.
+bool same_value(const BlockRewriter& rw, const Operand& a, const Operand& b) {
+  const auto ca = const_value(rw, a);
+  const auto cb = const_value(rw, b);
+  if (ca && cb) return *ca == *cb;
+  const auto ra = resolved_ref(rw, a);
+  const auto rb = resolved_ref(rw, b);
+  return ra && rb && *ra == *rb;
+}
+
+/// Emit "the value of operand o" in place of tuple i.
+void forward_operand(BlockRewriter& rw, TupleIndex i, const Operand& o) {
+  if (o.is_ref()) {
+    rw.alias(i, o.ref);
+  } else {
+    PS_ASSERT(o.is_imm());
+    rw.replace(i, Tuple{Opcode::Const, Operand::of_imm(o.imm), {}});
+  }
+}
+
+}  // namespace
+
+PassResult copy_propagation(const BasicBlock& block) {
+  BlockRewriter rw(block);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const auto index = static_cast<TupleIndex>(i);
+    const Tuple& t = block.tuple(index);
+    if (t.op == Opcode::Mov) {
+      forward_operand(rw, index, t.a);
+    } else {
+      rw.keep(index);
+    }
+  }
+  const bool changed = rw.changed();
+  return {rw.finish(), changed};
+}
+
+PassResult constant_folding(const BasicBlock& block) {
+  BlockRewriter rw(block);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const auto index = static_cast<TupleIndex>(i);
+    const Tuple& t = block.tuple(index);
+    const bool foldable = t.op == Opcode::Mov || t.op == Opcode::Neg ||
+                          opcode_is_binary_arith(t.op);
+    if (foldable) {
+      const auto a = const_value(rw, t.a);
+      const auto b = opcode_arity(t.op) == 2 ? const_value(rw, t.b)
+                                             : std::optional<std::int64_t>(0);
+      if (a && b) {
+        rw.replace(index, Tuple{Opcode::Const,
+                                Operand::of_imm(eval_op(t.op, *a, *b)), {}});
+        continue;
+      }
+    }
+    rw.keep(index);
+  }
+  const bool changed = rw.changed();
+  return {rw.finish(), changed};
+}
+
+PassResult algebraic_simplification(const BasicBlock& block) {
+  BlockRewriter rw(block);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const auto index = static_cast<TupleIndex>(i);
+    const Tuple& t = block.tuple(index);
+    const auto ca = const_value(rw, t.a);
+    const auto cb = const_value(rw, t.b);
+
+    auto emit_const = [&](std::int64_t v) {
+      rw.replace(index, Tuple{Opcode::Const, Operand::of_imm(v), {}});
+    };
+
+    switch (t.op) {
+      case Opcode::Add:
+        if (ca && *ca == 0) {
+          forward_operand(rw, index, t.b);
+          continue;
+        }
+        if (cb && *cb == 0) {
+          forward_operand(rw, index, t.a);
+          continue;
+        }
+        break;
+      case Opcode::Sub:
+        if (cb && *cb == 0) {
+          forward_operand(rw, index, t.a);
+          continue;
+        }
+        if (same_value(rw, t.a, t.b)) {
+          emit_const(0);
+          continue;
+        }
+        if (ca && *ca == 0) {
+          rw.replace(index, Tuple{Opcode::Neg, t.b, {}});
+          continue;
+        }
+        break;
+      case Opcode::Mul:
+        if ((ca && *ca == 0) || (cb && *cb == 0)) {
+          emit_const(0);
+          continue;
+        }
+        if (ca && *ca == 1) {
+          forward_operand(rw, index, t.b);
+          continue;
+        }
+        if (cb && *cb == 1) {
+          forward_operand(rw, index, t.a);
+          continue;
+        }
+        // Strength reduction: x*2 becomes x+x, moving the operation from
+        // the multiplier pipeline onto the adder.
+        if (ca && *ca == 2) {
+          rw.replace(index, Tuple{Opcode::Add, t.b, t.b});
+          continue;
+        }
+        if (cb && *cb == 2) {
+          rw.replace(index, Tuple{Opcode::Add, t.a, t.a});
+          continue;
+        }
+        break;
+      case Opcode::Div:
+        if (cb && *cb == 1) {
+          forward_operand(rw, index, t.a);
+          continue;
+        }
+        // 0/x == 0 for every x under the div-by-zero-yields-0 convention.
+        if (ca && *ca == 0) {
+          emit_const(0);
+          continue;
+        }
+        break;
+      case Opcode::Neg: {
+        // --x == x.
+        const auto inner = resolved_ref(rw, t.a);
+        if (inner && rw.emitted(*inner).op == Opcode::Neg &&
+            rw.emitted(*inner).a.is_ref()) {
+          rw.alias_new(index, rw.emitted(*inner).a.ref);
+          continue;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    rw.keep(index);
+  }
+  const bool changed = rw.changed();
+  return {rw.finish(), changed};
+}
+
+PassResult load_forwarding(const BasicBlock& block) {
+  BlockRewriter rw(block);
+  // Per variable: NEW-space index of its current in-register value.
+  std::unordered_map<VarId, TupleIndex> current_value;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const auto index = static_cast<TupleIndex>(i);
+    const Tuple& t = block.tuple(index);
+    if (t.op == Opcode::Load) {
+      if (auto it = current_value.find(t.a.var); it != current_value.end()) {
+        rw.alias_new(index, it->second);
+        continue;
+      }
+      rw.keep(index);
+      current_value[t.a.var] = *rw.resolve_new(index);
+      continue;
+    }
+    if (t.op == Opcode::Store) {
+      rw.keep(index);
+      if (t.b.is_ref()) {
+        if (auto value = rw.resolve_new(t.b.ref)) {
+          current_value[t.a.var] = *value;
+          continue;
+        }
+      }
+      current_value.erase(t.a.var);
+      continue;
+    }
+    rw.keep(index);
+  }
+  const bool changed = rw.changed();
+  return {rw.finish(), changed};
+}
+
+PassResult common_subexpression_elimination(const BasicBlock& block) {
+  BlockRewriter rw(block);
+  std::unordered_map<std::string, TupleIndex> available;  // key -> NEW index
+  std::unordered_map<VarId, int> epoch;  // bumped by stores
+
+  auto operand_key = [&](const Operand& o) -> std::string {
+    if (o.is_imm()) return "i" + std::to_string(o.imm);
+    if (o.is_ref()) {
+      const auto resolved = rw.resolve_new(o.ref);
+      PS_ASSERT(resolved.has_value());
+      return "r" + std::to_string(*resolved);
+    }
+    return "_";
+  };
+
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const auto index = static_cast<TupleIndex>(i);
+    const Tuple& t = block.tuple(index);
+
+    std::string key;
+    switch (t.op) {
+      case Opcode::Const:
+        key = "C" + std::to_string(t.a.imm);
+        break;
+      case Opcode::Load:
+        key = "L" + std::to_string(t.a.var) + "@" +
+              std::to_string(epoch[t.a.var]);
+        break;
+      case Opcode::Store:
+        ++epoch[t.a.var];
+        rw.keep(index);
+        continue;
+      default: {
+        std::string ka = operand_key(t.a);
+        std::string kb = operand_key(t.b);
+        if (opcode_is_commutative(t.op) && kb < ka) std::swap(ka, kb);
+        key = std::string(opcode_name(t.op)) + "|" + ka + "|" + kb;
+        break;
+      }
+    }
+
+    if (auto it = available.find(key); it != available.end()) {
+      rw.alias_new(index, it->second);
+    } else {
+      rw.keep(index);
+      available.emplace(std::move(key), *rw.resolve_new(index));
+    }
+  }
+  const bool changed = rw.changed();
+  return {rw.finish(), changed};
+}
+
+PassResult dead_code_elimination(const BasicBlock& block) {
+  const std::size_t n = block.size();
+  std::vector<bool> live(n, false);
+
+  // A Store is observable when it is the variable's final store, or some
+  // Load reads the variable before the next store overwrites it.
+  std::unordered_map<VarId, std::size_t> pending_store;  // awaiting a reader
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tuple& t = block.tuple(static_cast<TupleIndex>(i));
+    if (t.op == Opcode::Store) {
+      pending_store[t.a.var] = i;  // previous pending store (if any) was
+                                   // overwritten unread: stays dead
+      live[i] = false;
+      // Tentatively mark; final store per var fixed up below.
+    } else if (t.op == Opcode::Load) {
+      if (auto it = pending_store.find(t.a.var); it != pending_store.end()) {
+        live[it->second] = true;  // store observed by this load
+      }
+    }
+  }
+  for (const auto& [var, pos] : pending_store) {
+    live[pos] = true;  // final store: observable at block exit
+  }
+
+  // Backward closure over value uses (references always point backward).
+  for (std::size_t ri = n; ri-- > 0;) {
+    if (!live[ri]) continue;
+    const Tuple& t = block.tuple(static_cast<TupleIndex>(ri));
+    for (const Operand* o : {&t.a, &t.b}) {
+      if (o->is_ref()) live[static_cast<std::size_t>(o->ref)] = true;
+    }
+  }
+
+  BlockRewriter rw(block);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (live[i]) {
+      rw.keep(static_cast<TupleIndex>(i));
+    } else {
+      rw.drop(static_cast<TupleIndex>(i));
+    }
+  }
+  const bool changed = rw.changed();
+  return {rw.finish(), changed};
+}
+
+PassResult reassociation(const BasicBlock& block) {
+  const std::size_t n = block.size();
+
+  // Per-tuple reference counts and (single) user identity.
+  std::vector<int> use_count(n, 0);
+  std::vector<TupleIndex> single_user(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tuple& t = block.tuple(static_cast<TupleIndex>(i));
+    for (const Operand* o : {&t.a, &t.b}) {
+      if (!o->is_ref()) continue;
+      const auto ref = static_cast<std::size_t>(o->ref);
+      ++use_count[ref];
+      single_user[ref] = static_cast<TupleIndex>(i);
+    }
+  }
+
+  const auto assoc_op = [&](TupleIndex i) -> std::optional<Opcode> {
+    const Opcode op = block.tuple(i).op;
+    if (op == Opcode::Add || op == Opcode::Mul) return op;
+    return std::nullopt;
+  };
+
+  // A tuple folds into its parent when the parent is the sole user and
+  // applies the same associative op.
+  const auto absorbed = [&](TupleIndex i) {
+    const auto op = assoc_op(i);
+    if (!op) return false;
+    const auto index = static_cast<std::size_t>(i);
+    if (use_count[index] != 1) return false;
+    const TupleIndex user = single_user[index];
+    return assoc_op(user) == op;
+  };
+
+  BlockRewriter rw(block);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto index = static_cast<TupleIndex>(i);
+    const auto op = assoc_op(index);
+    if (!op || absorbed(index)) {
+      rw.keep(index);  // interior nodes go dead once the root is rebuilt
+      continue;
+    }
+
+    // Maximal tree root: gather leaves left-to-right.
+    std::vector<Operand> leaves;
+    const auto collect = [&](auto&& self, const Operand& o) -> void {
+      if (o.is_ref() && assoc_op(o.ref) == op && absorbed(o.ref)) {
+        const Tuple& t = block.tuple(o.ref);
+        self(self, t.a);
+        self(self, t.b);
+        return;
+      }
+      leaves.push_back(o);
+    };
+    const Tuple& root = block.tuple(index);
+    collect(collect, root.a);
+    collect(collect, root.b);
+
+    if (leaves.size() < 3) {
+      rw.keep(index);
+      continue;
+    }
+
+    // Resolve leaves into NEW space and combine pairwise, tournament
+    // style: height ceil(log2(#leaves)) instead of #leaves - 1.
+    std::vector<Operand> level;
+    for (const Operand& leaf : leaves) {
+      if (leaf.is_ref()) {
+        const auto resolved = rw.resolve_new(leaf.ref);
+        PS_ASSERT(resolved.has_value());
+        level.push_back(Operand::of_ref(*resolved));
+      } else {
+        level.push_back(leaf);
+      }
+    }
+    while (level.size() > 1) {
+      std::vector<Operand> next;
+      for (std::size_t k = 0; k + 1 < level.size(); k += 2) {
+        next.push_back(
+            Operand::of_ref(rw.emit_new(Tuple{*op, level[k], level[k + 1]})));
+      }
+      if (level.size() % 2) next.push_back(level.back());
+      level = std::move(next);
+    }
+    PS_ASSERT(level.front().is_ref());
+    rw.alias_new(index, level.front().ref);
+  }
+  const bool changed = rw.changed();
+  return {rw.finish(), changed};
+}
+
+const std::vector<Pass>& standard_passes() {
+  static const std::vector<Pass> kPasses = {
+      {"copy-propagation", copy_propagation},
+      {"constant-folding", constant_folding},
+      {"algebraic-simplification", algebraic_simplification},
+      {"load-forwarding", load_forwarding},
+      {"cse", common_subexpression_elimination},
+      {"dce", dead_code_elimination},
+  };
+  return kPasses;
+}
+
+BasicBlock run_standard_pipeline(const BasicBlock& block, int max_rounds) {
+  BasicBlock current = block;
+  for (int round = 0; round < max_rounds; ++round) {
+    bool any_change = false;
+    for (const Pass& pass : standard_passes()) {
+      PassResult result = pass.run(current);
+      any_change = any_change || result.changed;
+      current = std::move(result.block);
+    }
+    if (!any_change) break;
+  }
+  return current;
+}
+
+}  // namespace pipesched

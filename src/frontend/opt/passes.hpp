@@ -1,0 +1,73 @@
+// The "traditional optimizations" of paper Section 3.1, as independent
+// block-to-block passes:
+//
+//   copy propagation           Mov chains collapse onto their source;
+//   constant folding           arithmetic over known constants evaluates at
+//     (+ value propagation)    compile time, using the interpreter's own
+//                              eval_op so semantics cannot diverge;
+//   algebraic simplification   x+0, x*1, x*0, x-x, x/1, 0/x, --x, 0-x, and
+//                              the x*2 -> x+x strength reduction (which also
+//                              moves work from the multiplier pipeline to
+//                              the adder - visible to the scheduler);
+//   load forwarding            a Load that follows a Store to the same
+//     (peephole)               variable with no intervening store reuses
+//                              the stored value;
+//   common subexpression       structurally identical pure tuples (and
+//     elimination              Loads within the same memory epoch) merge;
+//   dead code elimination      tuples with no live use go away; a Store is
+//                              live only if it is the variable's last store
+//                              or a Load reads it before the next store.
+//
+// run_standard_pipeline() iterates the sequence to a fixpoint. The paper
+// notes optimized code makes good schedules *harder* to find (more
+// dependences per remaining instruction), which the corpus experiments
+// reproduce.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/block.hpp"
+
+namespace pipesched {
+
+/// Result of one pass application.
+struct PassResult {
+  BasicBlock block;
+  bool changed = false;
+};
+
+using PassFn = std::function<PassResult(const BasicBlock&)>;
+
+struct Pass {
+  std::string name;
+  PassFn run;
+};
+
+PassResult copy_propagation(const BasicBlock& block);
+PassResult constant_folding(const BasicBlock& block);
+PassResult algebraic_simplification(const BasicBlock& block);
+PassResult load_forwarding(const BasicBlock& block);
+PassResult common_subexpression_elimination(const BasicBlock& block);
+PassResult dead_code_elimination(const BasicBlock& block);
+
+/// Reassociation (extension, NOT part of the standard pipeline so the
+/// calibrated corpus results stay comparable to the paper):
+/// a left-leaning chain of n same-op Add or Mul tuples has dependence
+/// height n; rebuilding it as a balanced tree has height ceil(log2 n),
+/// which directly shortens the critical path the scheduler must cover
+/// with independent work. Only single-use interior nodes are rebuilt
+/// (two's-complement Add/Mul are fully associative and commutative, so
+/// semantics are exact). Run DCE afterwards to drop the abandoned
+/// originals.
+PassResult reassociation(const BasicBlock& block);
+
+/// The standard pass sequence, in application order.
+const std::vector<Pass>& standard_passes();
+
+/// Run the standard sequence repeatedly until no pass changes the block
+/// (or `max_rounds` is hit — a safety bound, normally 2-3 rounds suffice).
+BasicBlock run_standard_pipeline(const BasicBlock& block, int max_rounds = 8);
+
+}  // namespace pipesched

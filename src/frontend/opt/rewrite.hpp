@@ -1,0 +1,75 @@
+// Rebuild machinery shared by every optimizer pass.
+//
+// A pass walks the input block's tuples in ascending order and, for each,
+// decides to keep it, replace it, alias its uses to another tuple, or drop
+// it. The rewriter maintains the old-index -> new-index mapping (resolving
+// alias chains, which always point backward) and produces a compact,
+// validated output block with the variable table preserved.
+#pragma once
+
+#include <optional>
+
+#include "ir/block.hpp"
+
+namespace pipesched {
+
+class BlockRewriter {
+ public:
+  explicit BlockRewriter(const BasicBlock& input);
+
+  const BasicBlock& input() const { return *input_; }
+
+  /// Emit the old tuple unchanged (operands remapped). Calls must proceed
+  /// in ascending old-index order across keep/replace/alias/drop.
+  void keep(TupleIndex old_index);
+
+  /// Emit `t` in place of the old tuple; `t`'s operands are expressed in
+  /// the OLD index space and are remapped.
+  void replace(TupleIndex old_index, const Tuple& t);
+
+  /// Future uses of `old_index` resolve to `target_old`'s emitted tuple.
+  /// `target_old` must already be processed and not dropped.
+  void alias(TupleIndex old_index, TupleIndex target_old);
+
+  /// Like alias(), but the target is given directly in the NEW index space
+  /// (used when a pass matched a pattern on already-emitted tuples).
+  void alias_new(TupleIndex old_index, TupleIndex target_new);
+
+  /// Remove the tuple. Later references to it are a pass bug and throw
+  /// at remap time.
+  void drop(TupleIndex old_index);
+
+  /// Append a brand-new tuple that replaces no input tuple. Operands are
+  /// given directly in the NEW index space (no remapping). Returns its new
+  /// index. Used by passes that synthesize instructions (reassociation's
+  /// balanced combines).
+  TupleIndex emit_new(const Tuple& t);
+
+  /// Old-space index of the tuple a processed old index resolves to in the
+  /// new block; nullopt when dropped.
+  std::optional<TupleIndex> resolve_new(TupleIndex old_index) const;
+
+  /// The tuple already emitted at new index `i` (for pattern matching on
+  /// resolved operands, e.g. "is this operand a Const?").
+  const Tuple& emitted(TupleIndex new_index) const;
+
+  /// Number of old tuples processed so far.
+  std::size_t processed() const { return next_old_; }
+
+  /// Complete the rebuild; `changed` reports whether the output differs
+  /// from the input.
+  BasicBlock finish();
+  bool changed() const;
+
+ private:
+  Operand remap(const Operand& o) const;
+  void advance(TupleIndex old_index);
+
+  const BasicBlock* input_;
+  BasicBlock output_;
+  std::vector<TupleIndex> new_of_old_;  // -1 = dropped
+  std::size_t next_old_ = 0;
+  bool structural_change_ = false;
+};
+
+}  // namespace pipesched

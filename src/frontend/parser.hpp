@@ -1,0 +1,22 @@
+// Recursive-descent parser for the assignment-statement language.
+//
+// Grammar:
+//   program := stmt*
+//   stmt    := IDENT '=' expr ';'
+//   expr    := term (('+' | '-') term)*
+//   term    := factor (('*' | '/') factor)*
+//   factor  := '-' factor | '(' expr ')' | IDENT | NUMBER
+// Comments run from "//" to end of line. Braces around the program (as in
+// the paper's Figure 3) are accepted and ignored.
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.hpp"
+
+namespace pipesched {
+
+/// Parse source text. Throws Error with line/column on malformed input.
+SourceProgram parse_source(const std::string& text);
+
+}  // namespace pipesched

@@ -1,0 +1,31 @@
+// Structured control flow -> CFG lowering.
+//
+// if (c) {T} else {E}:
+//   cur:  ... eval c; store .c<k>       Branch(.c<k>, ELSE, when_zero)
+//   THEN blocks                         Jump(END)
+//   ELSE blocks                         FallThrough
+//   END (continuation)
+// (without else, the branch targets END directly)
+//
+// while (c) {B}:
+//   cur:  ...                           FallThrough
+//   HEAD: eval c; store .c<k>           Branch(.c<k>, EXIT, when_zero)
+//   BODY blocks                         Jump(HEAD)
+//   EXIT (continuation)
+//
+// Branch conditions are stored to compiler temporaries (".c0", ".c1", ...)
+// so terminators read memory and per-block optimization/scheduling stays
+// oblivious to control flow; a block's last store to the temporary is
+// always live, so DCE cannot remove it.
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "ir/program.hpp"
+
+namespace pipesched {
+
+/// Lower a source program (with arbitrary structured control flow) to a
+/// validated CFG. The final block ends in Return.
+Program generate_program(const SourceProgram& source);
+
+}  // namespace pipesched

@@ -1,0 +1,19 @@
+// Parser for the textual tuple notation printed by BasicBlock::to_string().
+//
+// Grammar (one tuple per line, '#'-to-end-of-line comments via ';'):
+//   <n>: <Opcode> [<operand> [, <operand>]]
+//   operand := #<var-name> | <tuple-number> | "<integer>"
+// Tuple numbers are 1-based as in the paper's Figure 3.
+#pragma once
+
+#include <string>
+
+#include "ir/block.hpp"
+
+namespace pipesched {
+
+/// Parse a block from text. Throws pipesched::Error with a line number on
+/// malformed input. Round-trips with BasicBlock::to_string().
+BasicBlock parse_block(const std::string& text, std::string label = "");
+
+}  // namespace pipesched

@@ -1,0 +1,274 @@
+#include "ir/dag.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace pipesched {
+
+const char* dep_kind_name(DepKind kind) {
+  switch (kind) {
+    case DepKind::Flow:
+      return "flow";
+    case DepKind::MemFlow:
+      return "memflow";
+    case DepKind::Anti:
+      return "anti";
+    case DepKind::Output:
+      return "output";
+  }
+  return "?";
+}
+
+DepGraph::DepGraph(const BasicBlock& block) : DepGraph(block, {}) {}
+
+DepGraph::DepGraph(
+    const BasicBlock& block,
+    const std::vector<std::pair<TupleIndex, TupleIndex>>& extra_edges)
+    : block_(&block) {
+  const std::size_t n = block.size();
+  preds_.resize(n);
+  succs_.resize(n);
+  pred_sets_.assign(n, DynBitset(n));
+  ancestors_.assign(n, DynBitset(n));
+  descendants_.assign(n, DynBitset(n));
+  height_.assign(n, 0);
+  depth_.assign(n, 0);
+
+  // Per-variable memory-dependence state.
+  std::unordered_map<VarId, TupleIndex> last_store;
+  std::unordered_map<VarId, std::vector<TupleIndex>> loads_since_store;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto index = static_cast<TupleIndex>(i);
+    const Tuple& t = block.tuple(index);
+
+    for (const Operand* o : {&t.a, &t.b}) {
+      if (o->is_ref()) add_edge(o->ref, index, DepKind::Flow);
+    }
+
+    if (t.op == Opcode::Load) {
+      if (auto it = last_store.find(t.a.var); it != last_store.end()) {
+        add_edge(it->second, index, DepKind::MemFlow);
+      }
+      loads_since_store[t.a.var].push_back(index);
+    } else if (t.op == Opcode::Store) {
+      auto& loads = loads_since_store[t.a.var];
+      for (TupleIndex load : loads) add_edge(load, index, DepKind::Anti);
+      loads.clear();
+      if (auto it = last_store.find(t.a.var); it != last_store.end()) {
+        add_edge(it->second, index, DepKind::Output);
+      }
+      last_store[t.a.var] = index;
+    }
+  }
+
+  for (const auto& [from, to] : extra_edges) {
+    PS_CHECK(from >= 0 && to >= 0 && from < to &&
+                 static_cast<std::size_t>(to) < n,
+             "extra edge must order an earlier tuple before a later one");
+    add_edge(from, to, DepKind::Anti);
+  }
+
+  compute_closures();
+}
+
+void DepGraph::add_edge(TupleIndex from, TupleIndex to, DepKind kind) {
+  PS_ASSERT(from >= 0 && to >= 0 && from < to &&
+            static_cast<std::size_t>(to) < preds_.size());
+  // De-duplicate parallel edges (e.g. a Store whose value is a Load of the
+  // same variable carries both Flow and Anti constraints — one edge is
+  // enough, and the first recorded kind wins).
+  if (pred_sets_[static_cast<std::size_t>(to)].test(
+          static_cast<std::size_t>(from))) {
+    return;
+  }
+  pred_sets_[static_cast<std::size_t>(to)].set(static_cast<std::size_t>(from));
+  preds_[static_cast<std::size_t>(to)].push_back(from);
+  succs_[static_cast<std::size_t>(from)].push_back(to);
+  edges_.push_back({from, to, kind});
+}
+
+void DepGraph::compute_closures() {
+  const std::size_t n = preds_.size();
+  // Tuple indices are already topologically sorted (references point
+  // backward), so one forward and one backward sweep suffice.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (TupleIndex p : preds_[i]) {
+      ancestors_[i].merge(ancestors_[static_cast<std::size_t>(p)]);
+      ancestors_[i].set(static_cast<std::size_t>(p));
+      depth_[i] = std::max(depth_[i], depth_[static_cast<std::size_t>(p)] + 1);
+    }
+  }
+  for (std::size_t ri = n; ri-- > 0;) {
+    for (TupleIndex s : succs_[ri]) {
+      descendants_[ri].merge(descendants_[static_cast<std::size_t>(s)]);
+      descendants_[ri].set(static_cast<std::size_t>(s));
+      height_[ri] =
+          std::max(height_[ri], height_[static_cast<std::size_t>(s)] + 1);
+    }
+  }
+}
+
+const std::vector<TupleIndex>& DepGraph::preds(TupleIndex i) const {
+  PS_ASSERT(i >= 0 && static_cast<std::size_t>(i) < preds_.size());
+  return preds_[static_cast<std::size_t>(i)];
+}
+
+const std::vector<TupleIndex>& DepGraph::succs(TupleIndex i) const {
+  PS_ASSERT(i >= 0 && static_cast<std::size_t>(i) < succs_.size());
+  return succs_[static_cast<std::size_t>(i)];
+}
+
+const DynBitset& DepGraph::pred_set(TupleIndex i) const {
+  PS_ASSERT(i >= 0 && static_cast<std::size_t>(i) < pred_sets_.size());
+  return pred_sets_[static_cast<std::size_t>(i)];
+}
+
+const DynBitset& DepGraph::ancestors(TupleIndex i) const {
+  PS_ASSERT(i >= 0 && static_cast<std::size_t>(i) < ancestors_.size());
+  return ancestors_[static_cast<std::size_t>(i)];
+}
+
+const DynBitset& DepGraph::descendants(TupleIndex i) const {
+  PS_ASSERT(i >= 0 && static_cast<std::size_t>(i) < descendants_.size());
+  return descendants_[static_cast<std::size_t>(i)];
+}
+
+int DepGraph::earliest_position(TupleIndex i) const {
+  return static_cast<int>(ancestors(i).count()) + 1;
+}
+
+int DepGraph::latest_position(TupleIndex i) const {
+  return static_cast<int>(size() - descendants(i).count());
+}
+
+int DepGraph::height(TupleIndex i) const {
+  PS_ASSERT(i >= 0 && static_cast<std::size_t>(i) < height_.size());
+  return height_[static_cast<std::size_t>(i)];
+}
+
+int DepGraph::depth(TupleIndex i) const {
+  PS_ASSERT(i >= 0 && static_cast<std::size_t>(i) < depth_.size());
+  return depth_[static_cast<std::size_t>(i)];
+}
+
+int DepGraph::critical_path_length() const {
+  int best = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    best = std::max(best, height_[i] + 1);
+  }
+  return size() ? best : 0;
+}
+
+bool DepGraph::is_legal_order(const std::vector<TupleIndex>& order) const {
+  if (order.size() != size()) return false;
+  DynBitset placed(size());
+  for (TupleIndex i : order) {
+    if (i < 0 || static_cast<std::size_t>(i) >= size()) return false;
+    if (placed.test(static_cast<std::size_t>(i))) return false;
+    if (!pred_set(i).is_subset_of(placed)) return false;
+    placed.set(static_cast<std::size_t>(i));
+  }
+  return true;
+}
+
+std::string DepGraph::to_dot() const {
+  std::ostringstream oss;
+  oss << "digraph block {\n  rankdir=TB;\n";
+  for (std::size_t i = 0; i < size(); ++i) {
+    const Tuple& t = block_->tuple(static_cast<TupleIndex>(i));
+    oss << "  n" << i + 1 << " [label=\"" << i + 1 << ": "
+        << opcode_name(t.op) << "\"];\n";
+  }
+  for (const DepEdge& e : edges_) {
+    oss << "  n" << e.from + 1 << " -> n" << e.to + 1 << " [label=\""
+        << dep_kind_name(e.kind) << "\"];\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+namespace {
+
+std::uint64_t count_orders_recursive(const DepGraph& dag, DynBitset& placed,
+                                     std::vector<int>& unplaced_preds,
+                                     std::size_t placed_count,
+                                     std::uint64_t budget) {
+  const std::size_t n = dag.size();
+  if (placed_count == n) return 1;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n && budget > 0; ++i) {
+    if (placed.test(i) || unplaced_preds[i] != 0) continue;
+    placed.set(i);
+    for (TupleIndex s : dag.succs(static_cast<TupleIndex>(i))) {
+      --unplaced_preds[static_cast<std::size_t>(s)];
+    }
+    const std::uint64_t found = count_orders_recursive(
+        dag, placed, unplaced_preds, placed_count + 1, budget);
+    total += found;
+    budget -= found;
+    placed.reset(i);
+    for (TupleIndex s : dag.succs(static_cast<TupleIndex>(i))) {
+      ++unplaced_preds[static_cast<std::size_t>(s)];
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::uint64_t count_topological_orders(const DepGraph& dag,
+                                       std::uint64_t cap) {
+  PS_CHECK(cap > 0, "cap must be positive");
+  DynBitset placed(dag.size());
+  std::vector<int> unplaced_preds(dag.size());
+  for (std::size_t i = 0; i < dag.size(); ++i) {
+    unplaced_preds[i] =
+        static_cast<int>(dag.preds(static_cast<TupleIndex>(i)).size());
+  }
+  return count_orders_recursive(dag, placed, unplaced_preds, 0, cap);
+}
+
+double factorial_double(int n) {
+  PS_CHECK(n >= 0, "factorial of negative value");
+  double f = 1;
+  for (int i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+std::string factorial_pretty(int n) {
+  PS_CHECK(n >= 0 && n <= 40, "factorial_pretty supports 0..40, got " << n);
+  // Exact product over base-1e9 limbs, little-endian.
+  std::vector<std::uint64_t> limbs{1};
+  constexpr std::uint64_t kBase = 1'000'000'000;
+  for (int i = 2; i <= n; ++i) {
+    std::uint64_t carry = 0;
+    for (auto& limb : limbs) {
+      const std::uint64_t value = limb * static_cast<std::uint64_t>(i) + carry;
+      limb = value % kBase;
+      carry = value / kBase;
+    }
+    while (carry) {
+      limbs.push_back(carry % kBase);
+      carry /= kBase;
+    }
+  }
+  std::string digits = std::to_string(limbs.back());
+  for (std::size_t i = limbs.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(limbs[i]);
+    digits += std::string(9 - part.size(), '0') + part;
+  }
+  // Insert thousands separators.
+  std::string out;
+  const std::size_t len = digits.size();
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i && (len - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+}  // namespace pipesched

@@ -1,0 +1,107 @@
+#include "ir/interp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace pipesched {
+
+namespace {
+
+std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+
+std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+
+}  // namespace
+
+std::int64_t eval_op(Opcode op, std::int64_t a, std::int64_t b) {
+  switch (op) {
+    case Opcode::Mov:
+      return a;
+    case Opcode::Neg:
+      return wrap_add(~a, 1);
+    case Opcode::Add:
+      return wrap_add(a, b);
+    case Opcode::Sub:
+      return wrap_add(a, wrap_add(~b, 1));
+    case Opcode::Mul:
+      return wrap_mul(a, b);
+    case Opcode::Div:
+      if (b == 0) return 0;
+      // INT64_MIN / -1 overflows in C++; wrap to INT64_MIN as hardware does.
+      if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return a;
+      return a / b;
+    default:
+      PS_ASSERT(false && "eval_op on non-arithmetic opcode");
+      return 0;
+  }
+}
+
+ExecResult interpret(const BasicBlock& block, const VarEnv& initial) {
+  std::vector<TupleIndex> order(block.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<TupleIndex>(i);
+  }
+  return interpret_in_order(block, initial, order);
+}
+
+ExecResult interpret_in_order(const BasicBlock& block, const VarEnv& initial,
+                              const std::vector<TupleIndex>& order) {
+  PS_CHECK(order.size() == block.size(),
+           "order size " << order.size() << " != block size " << block.size());
+  std::vector<bool> seen(block.size(), false);
+  for (TupleIndex i : order) {
+    PS_CHECK(i >= 0 && static_cast<std::size_t>(i) < block.size() &&
+                 !seen[static_cast<std::size_t>(i)],
+             "order is not a permutation of tuple indices");
+    seen[static_cast<std::size_t>(i)] = true;
+  }
+
+  ExecResult result;
+  result.tuple_values.assign(block.size(), 0);
+  result.final_vars = initial;
+  std::vector<bool> computed(block.size(), false);
+
+  auto operand_value = [&](const Operand& o) -> std::int64_t {
+    if (o.is_imm()) return o.imm;
+    PS_ASSERT(o.is_ref());
+    PS_CHECK(computed[static_cast<std::size_t>(o.ref)],
+             "order evaluates tuple before its operand " << o.ref + 1);
+    return result.tuple_values[static_cast<std::size_t>(o.ref)];
+  };
+
+  for (TupleIndex index : order) {
+    const Tuple& t = block.tuple(index);
+    std::int64_t value = 0;
+    switch (t.op) {
+      case Opcode::Const:
+        value = t.a.imm;
+        break;
+      case Opcode::Load: {
+        auto it = result.final_vars.find(t.a.var);
+        value = it == result.final_vars.end() ? 0 : it->second;
+        break;
+      }
+      case Opcode::Store:
+        result.final_vars[t.a.var] = operand_value(t.b);
+        break;
+      default:
+        value = opcode_arity(t.op) == 1
+                    ? eval_op(t.op, operand_value(t.a), 0)
+                    : eval_op(t.op, operand_value(t.a), operand_value(t.b));
+        break;
+    }
+    result.tuple_values[static_cast<std::size_t>(index)] = value;
+    computed[static_cast<std::size_t>(index)] = true;
+  }
+  return result;
+}
+
+}  // namespace pipesched

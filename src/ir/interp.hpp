@@ -1,0 +1,44 @@
+// Reference interpreter for tuple code.
+//
+// Defines the semantics every transformation must preserve: the optimizer
+// correctness tests compare final variable states before/after each pass,
+// and the scheduler legality tests check that any legal reordering leaves
+// the interpreter's outcome unchanged.
+//
+// Arithmetic is two's-complement int64; Div by zero yields 0 (a total
+// function keeps randomized semantic testing trivial — documented
+// convention, honoured identically by the constant folder).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/block.hpp"
+
+namespace pipesched {
+
+/// Variable state keyed by VarId.
+using VarEnv = std::unordered_map<VarId, std::int64_t>;
+
+/// Outcome of running a block.
+struct ExecResult {
+  std::vector<std::int64_t> tuple_values;  ///< result of each tuple (0 for Store)
+  VarEnv final_vars;                       ///< memory after the block
+};
+
+/// Execute the block in original order. Variables not present in `initial`
+/// start at 0.
+ExecResult interpret(const BasicBlock& block, const VarEnv& initial = {});
+
+/// Execute the block visiting tuples in the given order (a permutation of
+/// [0, block.size())). Used to check that legal schedules preserve
+/// semantics. Throws Error if `order` is not a permutation.
+ExecResult interpret_in_order(const BasicBlock& block, const VarEnv& initial,
+                              const std::vector<TupleIndex>& order);
+
+/// Two's-complement evaluation of a binary/unary arithmetic op; shared with
+/// the constant folder so folded code cannot diverge from the interpreter.
+std::int64_t eval_op(Opcode op, std::int64_t a, std::int64_t b);
+
+}  // namespace pipesched

@@ -1,0 +1,57 @@
+#include "ir/opcode.hpp"
+
+#include "util/check.hpp"
+
+namespace pipesched {
+
+namespace {
+
+struct OpcodeInfo {
+  const char* name;
+  int arity;
+  bool has_result;
+  bool commutative;
+};
+
+// Indexed by the Opcode enumerator value.
+constexpr OpcodeInfo kInfo[kOpcodeCount] = {
+    {"Const", 1, true, false},  // Opcode::Const
+    {"Load", 1, true, false},   // Opcode::Load
+    {"Store", 2, false, false}, // Opcode::Store
+    {"Mov", 1, true, false},    // Opcode::Mov
+    {"Neg", 1, true, false},    // Opcode::Neg
+    {"Add", 2, true, true},     // Opcode::Add
+    {"Sub", 2, true, false},    // Opcode::Sub
+    {"Mul", 2, true, true},     // Opcode::Mul
+    {"Div", 2, true, false},    // Opcode::Div
+};
+
+const OpcodeInfo& info(Opcode op) {
+  const auto index = static_cast<std::size_t>(op);
+  PS_ASSERT(index < kOpcodeCount);
+  return kInfo[index];
+}
+
+}  // namespace
+
+const char* opcode_name(Opcode op) { return info(op).name; }
+
+std::optional<Opcode> opcode_from_name(const std::string& name) {
+  for (int i = 0; i < kOpcodeCount; ++i) {
+    if (name == kInfo[i].name) return static_cast<Opcode>(i);
+  }
+  return std::nullopt;
+}
+
+int opcode_arity(Opcode op) { return info(op).arity; }
+
+bool opcode_has_result(Opcode op) { return info(op).has_result; }
+
+bool opcode_is_commutative(Opcode op) { return info(op).commutative; }
+
+bool opcode_is_binary_arith(Opcode op) {
+  return op == Opcode::Add || op == Opcode::Sub || op == Opcode::Mul ||
+         op == Opcode::Div;
+}
+
+}  // namespace pipesched

@@ -1,0 +1,48 @@
+// Operation taxonomy for the tuple intermediate form (paper Section 3.1).
+//
+// Each tuple corresponds directly to one target-machine instruction
+// (Section 3.4), so the opcode set is deliberately small: memory access,
+// constant materialization, copies, and the arithmetic ops whose statement
+// frequencies drive the synthetic benchmarks (Section 5.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pipesched {
+
+enum class Opcode : std::uint8_t {
+  Const,  ///< materialize an immediate; operand a = Imm
+  Load,   ///< read a variable;          operand a = Var
+  Store,  ///< write a variable;         a = Var (dest), b = value
+  Mov,    ///< copy a value;             a = value
+  Neg,    ///< arithmetic negation;      a = value
+  Add,    ///< a + b
+  Sub,    ///< a - b
+  Mul,    ///< a * b
+  Div,    ///< a / b (integer; division by zero yields 0 by convention)
+};
+
+inline constexpr int kOpcodeCount = 9;
+
+/// Printable mnemonic ("Const", "Load", ...).
+const char* opcode_name(Opcode op);
+
+/// Parse a mnemonic; empty when unknown.
+std::optional<Opcode> opcode_from_name(const std::string& name);
+
+/// Number of operand slots the opcode consumes (0, 1 or 2).
+int opcode_arity(Opcode op);
+
+/// True for opcodes producing a value other tuples may reference.
+/// Store is the only value-less opcode.
+bool opcode_has_result(Opcode op);
+
+/// True when operand order does not matter (Add, Mul).
+bool opcode_is_commutative(Opcode op);
+
+/// True for binary arithmetic (Add..Div).
+bool opcode_is_binary_arith(Opcode op);
+
+}  // namespace pipesched

@@ -1,0 +1,192 @@
+#include "ir/program.hpp"
+
+#include <sstream>
+
+#include "ir/interp.hpp"
+#include "util/check.hpp"
+
+namespace pipesched {
+
+Terminator Terminator::jump(BlockId target) {
+  Terminator t;
+  t.kind = Kind::Jump;
+  t.target = target;
+  return t;
+}
+
+Terminator Terminator::branch(std::string cond_var, BlockId target,
+                               bool when_zero) {
+  PS_ASSERT(!cond_var.empty());
+  Terminator t;
+  t.kind = Kind::Branch;
+  t.cond_var = std::move(cond_var);
+  t.target = target;
+  t.when_zero = when_zero;
+  return t;
+}
+
+Terminator Terminator::ret() {
+  Terminator t;
+  t.kind = Kind::Return;
+  return t;
+}
+
+BlockId Program::add_block(std::string label) {
+  blocks_.push_back({BasicBlock(std::move(label)), Terminator{}});
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+const ProgramBlock& Program::block(BlockId id) const {
+  PS_ASSERT(id >= 0 && static_cast<std::size_t>(id) < blocks_.size());
+  return blocks_[static_cast<std::size_t>(id)];
+}
+
+ProgramBlock& Program::block_mut(BlockId id) {
+  PS_ASSERT(id >= 0 && static_cast<std::size_t>(id) < blocks_.size());
+  return blocks_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> Program::predecessor_counts() const {
+  std::vector<int> counts(blocks_.size(), 0);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Terminator& term = blocks_[i].term;
+    const bool falls_through = term.kind == Terminator::Kind::FallThrough ||
+                               term.kind == Terminator::Kind::Branch;
+    if (falls_through && i + 1 < blocks_.size()) {
+      ++counts[i + 1];
+    }
+    if ((term.kind == Terminator::Kind::Jump ||
+         term.kind == Terminator::Kind::Branch) &&
+        term.target >= 0) {
+      ++counts[static_cast<std::size_t>(term.target)];
+    }
+  }
+  return counts;
+}
+
+bool Program::only_fallthrough_predecessor(BlockId id) const {
+  if (id <= 0) return false;  // entry block: no chaining
+  const std::vector<int> counts = predecessor_counts();
+  if (counts[static_cast<std::size_t>(id)] != 1) return false;
+  const Terminator& prev =
+      blocks_[static_cast<std::size_t>(id) - 1].term;
+  return prev.kind == Terminator::Kind::FallThrough ||
+         (prev.kind == Terminator::Kind::Branch &&
+          prev.target != id);
+}
+
+void Program::validate() const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    blocks_[i].block.validate();
+    const Terminator& term = blocks_[i].term;
+    if (term.kind == Terminator::Kind::Jump ||
+        term.kind == Terminator::Kind::Branch) {
+      PS_CHECK(term.target >= 0 &&
+                   static_cast<std::size_t>(term.target) < blocks_.size(),
+               "block " << i << ": terminator targets unknown block "
+                        << term.target);
+    }
+    if (term.kind == Terminator::Kind::Branch) {
+      PS_CHECK(!term.cond_var.empty(),
+               "block " << i << ": branch without a condition variable");
+    }
+    const bool falls_off_end =
+        (term.kind == Terminator::Kind::FallThrough ||
+         term.kind == Terminator::Kind::Branch) &&
+        i + 1 >= blocks_.size();
+    PS_CHECK(!falls_off_end,
+             "block " << i << ": falls through past the last block");
+  }
+}
+
+std::string Program::to_string() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const ProgramBlock& pb = blocks_[i];
+    oss << "block " << i;
+    if (!pb.block.label().empty()) oss << " (" << pb.block.label() << ")";
+    oss << ":\n";
+    std::istringstream lines(pb.block.to_string());
+    std::string line;
+    bool first = true;
+    while (std::getline(lines, line)) {
+      // Skip the label line BasicBlock::to_string already prints.
+      if (first && !pb.block.label().empty()) {
+        first = false;
+        continue;
+      }
+      first = false;
+      oss << "  " << line << "\n";
+    }
+    switch (pb.term.kind) {
+      case Terminator::Kind::FallThrough:
+        oss << "  -> fall through\n";
+        break;
+      case Terminator::Kind::Jump:
+        oss << "  -> jump block " << pb.term.target << "\n";
+        break;
+      case Terminator::Kind::Branch:
+        oss << "  -> if " << pb.term.cond_var
+            << (pb.term.when_zero ? " == 0" : " != 0") << " goto block "
+            << pb.term.target << ", else fall through\n";
+        break;
+      case Terminator::Kind::Return:
+        oss << "  -> return\n";
+        break;
+    }
+  }
+  return oss.str();
+}
+
+ProgramExecResult interpret_program(const Program& program,
+                                    const ProgramEnv& initial,
+                                    std::size_t max_block_steps) {
+  program.validate();
+  ProgramExecResult result;
+  result.final_vars = initial;
+  if (program.size() == 0) return result;
+
+  BlockId current = 0;
+  while (result.blocks_executed < max_block_steps) {
+    const ProgramBlock& pb = program.block(current);
+    // Marshal program memory (by name) into the block's VarId space.
+    VarEnv env;
+    for (std::size_t v = 0; v < pb.block.var_count(); ++v) {
+      const auto it =
+          result.final_vars.find(pb.block.var_name(static_cast<VarId>(v)));
+      if (it != result.final_vars.end()) {
+        env[static_cast<VarId>(v)] = it->second;
+      }
+    }
+    const ExecResult exec = interpret(pb.block, env);
+    for (const auto& [var, value] : exec.final_vars) {
+      result.final_vars[pb.block.var_name(var)] = value;
+    }
+    ++result.blocks_executed;
+
+    switch (pb.term.kind) {
+      case Terminator::Kind::Return:
+        return result;
+      case Terminator::Kind::Jump:
+        current = pb.term.target;
+        break;
+      case Terminator::Kind::Branch: {
+        const auto it = result.final_vars.find(pb.term.cond_var);
+        const std::int64_t cond =
+            it == result.final_vars.end() ? 0 : it->second;
+        const bool taken = pb.term.when_zero ? cond == 0 : cond != 0;
+        current = taken ? pb.term.target : current + 1;
+        break;
+      }
+      case Terminator::Kind::FallThrough:
+        ++current;
+        break;
+    }
+    PS_ASSERT(current >= 0 &&
+              static_cast<std::size_t>(current) < program.size());
+  }
+  result.terminated = false;
+  return result;
+}
+
+}  // namespace pipesched

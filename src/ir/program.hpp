@@ -1,0 +1,96 @@
+// Whole-program IR: a control-flow graph of basic blocks.
+//
+// The paper schedules each basic block independently (Section 2.3) and
+// leaves "arbitrary control flow" to future work (Section 6); this module
+// supplies the surrounding structure. A Program is a list of blocks in
+// layout order, each ending in a terminator:
+//
+//   FallThrough          continue to the next block in layout order
+//   Jump     target      unconditional transfer
+//   Branch   cond_var,   transfer to `target` when the named variable is
+//            target      non-zero, else fall through to the next block
+//   Return               leave the program
+//
+// Branch conditions are read from memory (a compiler temporary stored by
+// the block), so schedulers and optimizer passes never see terminators —
+// reordering or DCE inside a block cannot invalidate one (the condition
+// store is the variable's last store, hence always observable/live).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/block.hpp"
+
+namespace pipesched {
+
+/// Index of a block within its program.
+using BlockId = int;
+
+struct Terminator {
+  enum class Kind { FallThrough, Jump, Branch, Return };
+
+  Kind kind = Kind::FallThrough;
+  BlockId target = -1;        ///< Jump/Branch destination
+  std::string cond_var;       ///< Branch: variable read from memory
+  bool when_zero = false;     ///< Branch taken when cond == 0 (beqz style)
+
+  static Terminator fall_through() { return {}; }
+  static Terminator jump(BlockId target);
+  static Terminator branch(std::string cond_var, BlockId target,
+                           bool when_zero = false);
+  static Terminator ret();
+};
+
+struct ProgramBlock {
+  BasicBlock block;
+  Terminator term;
+};
+
+class Program {
+ public:
+  /// Append a block; returns its id. Blocks may be appended empty and
+  /// filled in afterwards (the CFG builder allocates ids up front).
+  BlockId add_block(std::string label = "");
+
+  std::size_t size() const { return blocks_.size(); }
+  const ProgramBlock& block(BlockId id) const;
+  ProgramBlock& block_mut(BlockId id);
+
+  /// Number of predecessors of each block (FallThrough/Branch fall-through
+  /// edges from the previous block plus explicit targets). Used by the
+  /// boundary-mode logic: chaining pipeline state into a block is only
+  /// safe when its sole predecessor is the layout-preceding block.
+  std::vector<int> predecessor_counts() const;
+
+  /// True when `id`'s only incoming edge is a fall-through from id-1.
+  bool only_fallthrough_predecessor(BlockId id) const;
+
+  /// Validate every block and terminator target. Throws Error.
+  void validate() const;
+
+  /// Listing: each block's tuples plus its terminator.
+  std::string to_string() const;
+
+ private:
+  std::vector<ProgramBlock> blocks_;
+};
+
+/// Program execution state: memory keyed by variable NAME (variables are
+/// interned per block, so cross-block identity is by name).
+using ProgramEnv = std::unordered_map<std::string, std::int64_t>;
+
+struct ProgramExecResult {
+  ProgramEnv final_vars;
+  std::size_t blocks_executed = 0;
+  bool terminated = true;  ///< false when the step limit was hit
+};
+
+/// Reference interpreter for programs. `max_block_steps` bounds loop
+/// execution (returns terminated = false when exceeded).
+ProgramExecResult interpret_program(const Program& program,
+                                    const ProgramEnv& initial = {},
+                                    std::size_t max_block_steps = 100000);
+
+}  // namespace pipesched

@@ -1,0 +1,44 @@
+// Machine-readable text format for whole programs (CFGs), round-trippable
+// through program_to_text() / parse_program_text(). Complements the
+// per-block Figure 3 notation of ir/block_parser.hpp.
+//
+// Format (';'-to-end-of-line comments, as in the block notation —
+// '#' introduces variable operands and is never a comment):
+//
+//   program
+//   block entry
+//     1: Const "0"
+//     2: Store #acc, 1
+//     fallthrough
+//   block head
+//     1: Load #n
+//     2: Store #.c0, 1
+//     beqz .c0 exit
+//   block body
+//     ...
+//     jump head
+//   block exit
+//     ...
+//     ret
+//
+// Each `block <label>` opens a block; its tuple lines follow the block
+// notation; the block ends with exactly one terminator line:
+//   fallthrough | jump <label> | bnez <var> <label> | beqz <var> <label> |
+//   ret
+// Branch/jump targets are labels, resolved after the whole file is read.
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace pipesched {
+
+/// Parse the program text format. Throws Error with line numbers.
+Program parse_program_text(const std::string& text);
+
+/// Render `program` in the parse_program_text() format (round-trips).
+/// Unlabeled blocks are assigned labels "b<i>".
+std::string program_to_text(const Program& program);
+
+}  // namespace pipesched

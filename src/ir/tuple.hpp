@@ -1,0 +1,70 @@
+// The tuple form <i, O, alpha, beta> of paper Section 3.1 (Figure 3).
+//
+// A tuple's reference number `i` is its index within its basic block;
+// operands refer to other tuples by that index, so a schedule is simply a
+// permutation of indices and never rewrites operands.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/opcode.hpp"
+
+namespace pipesched {
+
+/// Index of a tuple within its basic block.
+using TupleIndex = std::int32_t;
+
+/// Interned variable identifier within a basic block.
+using VarId = std::int32_t;
+
+/// One operand slot: nothing, a variable, another tuple's result, or an
+/// immediate constant.
+struct Operand {
+  enum class Kind : std::uint8_t { None, Var, Ref, Imm };
+
+  Kind kind = Kind::None;
+  TupleIndex ref = -1;      ///< valid when kind == Ref
+  VarId var = -1;           ///< valid when kind == Var
+  std::int64_t imm = 0;     ///< valid when kind == Imm
+
+  static Operand none() { return {}; }
+  static Operand of_var(VarId v) {
+    Operand o;
+    o.kind = Kind::Var;
+    o.var = v;
+    return o;
+  }
+  static Operand of_ref(TupleIndex t) {
+    Operand o;
+    o.kind = Kind::Ref;
+    o.ref = t;
+    return o;
+  }
+  static Operand of_imm(std::int64_t v) {
+    Operand o;
+    o.kind = Kind::Imm;
+    o.imm = v;
+    return o;
+  }
+
+  bool is_none() const { return kind == Kind::None; }
+  bool is_var() const { return kind == Kind::Var; }
+  bool is_ref() const { return kind == Kind::Ref; }
+  bool is_imm() const { return kind == Kind::Imm; }
+
+  bool operator==(const Operand& other) const;
+};
+
+/// One instruction in tuple form.
+struct Tuple {
+  Opcode op = Opcode::Const;
+  Operand a;
+  Operand b;
+
+  bool operator==(const Tuple& other) const {
+    return op == other.op && a == other.a && b == other.b;
+  }
+};
+
+}  // namespace pipesched

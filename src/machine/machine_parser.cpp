@@ -1,0 +1,106 @@
+#include "machine/machine_parser.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace pipesched {
+
+namespace {
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> out;
+  for (const std::string& tok : split(line, ' ')) {
+    if (!trim(tok).empty()) out.push_back(trim(tok));
+  }
+  return out;
+}
+
+int parse_int(const std::string& s, int line_no) {
+  try {
+    std::size_t used = 0;
+    const int value = std::stoi(s, &used);
+    PS_CHECK(used == s.size(), "line " << line_no << ": bad integer '" << s
+                                       << "'");
+    return value;
+  } catch (const std::exception&) {
+    throw Error("line " + std::to_string(line_no) + ": bad integer '" + s +
+                "'");
+  }
+}
+
+}  // namespace
+
+Machine parse_machine(const std::string& text) {
+  std::optional<Machine> machine;
+  int line_no = 0;
+  for (const std::string& raw : split(text, '\n')) {
+    ++line_no;
+    std::string line = raw;
+    if (auto comment = line.find('#'); comment != std::string::npos) {
+      line = line.substr(0, comment);
+    }
+    const auto toks = tokens_of(line);
+    if (toks.empty()) continue;
+
+    if (toks[0] == "machine") {
+      PS_CHECK(toks.size() == 2, "line " << line_no << ": machine <name>");
+      PS_CHECK(!machine.has_value(),
+               "line " << line_no << ": duplicate machine directive");
+      machine.emplace(toks[1]);
+    } else if (toks[0] == "pipeline") {
+      PS_CHECK(machine.has_value(),
+               "line " << line_no << ": pipeline before machine directive");
+      PS_CHECK(toks.size() == 6 && toks[2] == "latency" && toks[4] == "enqueue",
+               "line " << line_no
+                       << ": pipeline <function> latency <n> enqueue <n>");
+      machine->add_pipeline(toks[1], parse_int(toks[3], line_no),
+                            parse_int(toks[5], line_no));
+    } else if (toks[0] == "map") {
+      PS_CHECK(machine.has_value(),
+               "line " << line_no << ": map before machine directive");
+      PS_CHECK(toks.size() == 3, "line " << line_no
+                                         << ": map <Opcode> <function>");
+      const auto op = opcode_from_name(toks[1]);
+      PS_CHECK(op.has_value(),
+               "line " << line_no << ": unknown opcode '" << toks[1] << "'");
+      machine->map_op(*op, toks[2]);
+    } else {
+      throw Error("line " + std::to_string(line_no) + ": unknown directive '" +
+                  toks[0] + "'");
+    }
+  }
+  PS_CHECK(machine.has_value(), "no machine directive found");
+  machine->validate();
+  return *machine;
+}
+
+std::string machine_to_config(const Machine& m) {
+  std::ostringstream oss;
+  oss << "machine " << m.name() << "\n";
+  for (std::size_t i = 0; i < m.pipeline_count(); ++i) {
+    const PipelineDesc& p = m.pipeline(static_cast<PipelineId>(i));
+    oss << "pipeline " << p.function << " latency " << p.latency
+        << " enqueue " << p.enqueue << "\n";
+  }
+  for (int op = 0; op < kOpcodeCount; ++op) {
+    // map directives are by function name; emit one per distinct function
+    // (map_op(function) re-expands to all units sharing it).
+    std::vector<std::string> seen;
+    for (PipelineId id : m.pipelines_for(static_cast<Opcode>(op))) {
+      const std::string& function = m.pipeline(id).function;
+      if (std::find(seen.begin(), seen.end(), function) != seen.end()) {
+        continue;
+      }
+      seen.push_back(function);
+      oss << "map " << opcode_name(static_cast<Opcode>(op)) << " "
+          << function << "\n";
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace pipesched

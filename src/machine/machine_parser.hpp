@@ -1,0 +1,24 @@
+// Text format for machine descriptions, so experiments can swap pipeline
+// structures without recompiling (the paper: "changing the pipeline
+// structure changes only the entries in these tables").
+//
+// Format, one directive per line, '#' comments:
+//   machine <name>
+//   pipeline <function> latency <n> enqueue <n>
+//   map <Opcode> <function>
+#pragma once
+
+#include <string>
+
+#include "machine/machine.hpp"
+
+namespace pipesched {
+
+/// Parse a machine description. Throws Error (with line numbers) on
+/// malformed input; the returned machine is validated.
+Machine parse_machine(const std::string& text);
+
+/// Render `m` in the parse_machine() format (round-trips).
+std::string machine_to_config(const Machine& m);
+
+}  // namespace pipesched

@@ -1,0 +1,168 @@
+#include "regalloc/regalloc.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace pipesched {
+
+std::vector<LiveRange> compute_live_ranges(
+    const BasicBlock& block, const std::vector<TupleIndex>& order) {
+  PS_CHECK(order.size() == block.size(), "order does not cover the block");
+  std::vector<int> pos_of(block.size(), -1);
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    PS_CHECK(order[p] >= 0 &&
+                 static_cast<std::size_t>(order[p]) < block.size() &&
+                 pos_of[static_cast<std::size_t>(order[p])] < 0,
+             "order is not a permutation");
+    pos_of[static_cast<std::size_t>(order[p])] = static_cast<int>(p);
+  }
+
+  std::vector<LiveRange> ranges;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const auto index = static_cast<TupleIndex>(i);
+    if (!opcode_has_result(block.tuple(index).op)) continue;
+    LiveRange r;
+    r.tuple = index;
+    r.def_pos = pos_of[i];
+    r.last_use_pos = pos_of[i];
+    ranges.push_back(r);
+  }
+
+  // Extend each range to its last reader's position.
+  std::vector<int> range_of(block.size(), -1);
+  for (std::size_t k = 0; k < ranges.size(); ++k) {
+    range_of[static_cast<std::size_t>(ranges[k].tuple)] = static_cast<int>(k);
+  }
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const Tuple& t = block.tuple(static_cast<TupleIndex>(i));
+    for (const Operand* o : {&t.a, &t.b}) {
+      if (!o->is_ref()) continue;
+      const int k = range_of[static_cast<std::size_t>(o->ref)];
+      PS_ASSERT(k >= 0);
+      ranges[static_cast<std::size_t>(k)].last_use_pos =
+          std::max(ranges[static_cast<std::size_t>(k)].last_use_pos,
+                   pos_of[i]);
+    }
+  }
+
+  std::sort(ranges.begin(), ranges.end(),
+            [](const LiveRange& a, const LiveRange& b) {
+              return a.def_pos < b.def_pos;
+            });
+  return ranges;
+}
+
+int max_live(const std::vector<LiveRange>& ranges) {
+  // Sweep positions: +1 at def, -1 after last use.
+  std::map<int, int> delta;
+  for (const LiveRange& r : ranges) {
+    delta[r.def_pos] += 1;
+    delta[r.last_use_pos + 1] -= 1;
+  }
+  int live = 0;
+  int best = 0;
+  for (const auto& [pos, d] : delta) {
+    live += d;
+    best = std::max(best, live);
+  }
+  return best;
+}
+
+Allocation linear_scan(const BasicBlock& block,
+                       const std::vector<TupleIndex>& order,
+                       int num_registers, AllocPolicy policy) {
+  PS_CHECK(num_registers > 0, "need at least one register");
+  const std::vector<LiveRange> ranges = compute_live_ranges(block, order);
+
+  Allocation allocation;
+  allocation.reg_of.assign(block.size(), -1);
+
+  // Free registers: LowestFree re-sorts so the lowest id is taken first;
+  // RoundRobin treats the pool as a FIFO, so a freed register goes to the
+  // back of the line and the whole file cycles before any reuse.
+  std::deque<int> free_regs;
+  for (int r = 0; r < num_registers; ++r) free_regs.push_back(r);
+  std::multimap<int, int> active;  // last_use_pos -> register
+
+  int highest_used = -1;
+  for (const LiveRange& range : ranges) {
+    // Expire ranges whose value is dead before this def.
+    while (!active.empty() && active.begin()->first < range.def_pos) {
+      free_regs.push_back(active.begin()->second);
+      active.erase(active.begin());
+    }
+    if (policy == AllocPolicy::LowestFree) {
+      std::sort(free_regs.begin(), free_regs.end());
+    }
+    PS_CHECK(!free_regs.empty(),
+             "register allocation requires spill code: block needs more than "
+                 << num_registers << " registers (MAXLIVE = "
+                 << max_live(ranges) << ")");
+    const int reg = free_regs.front();
+    free_regs.pop_front();
+    allocation.reg_of[static_cast<std::size_t>(range.tuple)] = reg;
+    highest_used = std::max(highest_used, reg);
+    active.emplace(range.last_use_pos, reg);
+  }
+  allocation.registers_used = highest_used + 1;
+  return allocation;
+}
+
+bool verify_allocation(const BasicBlock& block,
+                       const std::vector<TupleIndex>& order,
+                       const Allocation& allocation) {
+  const std::vector<LiveRange> ranges = compute_live_ranges(block, order);
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const int ri = allocation.reg_of[static_cast<std::size_t>(ranges[i].tuple)];
+    if (ri < 0) return false;
+    for (std::size_t j = i + 1; j < ranges.size(); ++j) {
+      const int rj =
+          allocation.reg_of[static_cast<std::size_t>(ranges[j].tuple)];
+      if (ri != rj) continue;
+      const bool overlap = ranges[i].def_pos <= ranges[j].last_use_pos &&
+                           ranges[j].def_pos <= ranges[i].last_use_pos;
+      if (overlap) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<TupleIndex, TupleIndex>> false_dependence_edges(
+    const BasicBlock& block, const Allocation& allocation) {
+  // Readers of each value, in original order.
+  std::vector<std::vector<TupleIndex>> readers(block.size());
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const Tuple& t = block.tuple(static_cast<TupleIndex>(i));
+    for (const Operand* o : {&t.a, &t.b}) {
+      if (o->is_ref()) {
+        readers[static_cast<std::size_t>(o->ref)].push_back(
+            static_cast<TupleIndex>(i));
+      }
+    }
+  }
+
+  // Per register, defs in original order; consecutive defs A -> B impose
+  // anti edges reader(A) -> B and A -> B.
+  std::vector<std::pair<TupleIndex, TupleIndex>> edges;
+  std::vector<TupleIndex> last_def(
+      static_cast<std::size_t>(allocation.registers_used), -1);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const int reg = allocation.reg_of[i];
+    if (reg < 0) continue;
+    const auto def = static_cast<TupleIndex>(i);
+    const TupleIndex prev = last_def[static_cast<std::size_t>(reg)];
+    if (prev >= 0) {
+      edges.emplace_back(prev, def);
+      for (TupleIndex reader : readers[static_cast<std::size_t>(prev)]) {
+        if (reader < def) edges.emplace_back(reader, def);
+      }
+    }
+    last_def[static_cast<std::size_t>(reg)] = def;
+  }
+  return edges;
+}
+
+}  // namespace pipesched

@@ -1,0 +1,75 @@
+// Post-scheduling register allocation (paper Section 3.4).
+//
+// Values carry no register names until after the pipeline scheduler has
+// fixed the instruction order; only then are tuple results mapped onto
+// physical registers, so register reuse can never constrain the schedule.
+// Section 3.1's spill discipline is honoured in reverse: the allocator
+// *verifies* the spill-free precondition (MAXLIVE <= available registers)
+// rather than inserting spills, and throws if it is violated.
+//
+// false_dependence_edges() implements the comparison point: given an
+// allocation computed on the ORIGINAL instruction order (what a postpass
+// scheduler working on final assembly would face), it returns the anti
+// dependences that register reuse imposes on any reordering. Feeding those
+// into DepGraph and re-running the optimal scheduler quantifies the
+// paper's claim that scheduling-before-allocation avoids artificial
+// constraints.
+#pragma once
+
+#include <vector>
+
+#include "ir/block.hpp"
+
+namespace pipesched {
+
+/// Live range of one tuple's result over a given schedule order.
+/// Positions are 0-based indices into the order.
+struct LiveRange {
+  TupleIndex tuple = -1;
+  int def_pos = 0;
+  int last_use_pos = 0;  ///< == def_pos when the result is never read
+};
+
+/// Live ranges for all value-producing tuples, ordered by def position.
+/// `order` must be a permutation of the block's tuples.
+std::vector<LiveRange> compute_live_ranges(
+    const BasicBlock& block, const std::vector<TupleIndex>& order);
+
+/// Maximum number of simultaneously live values (MAXLIVE).
+int max_live(const std::vector<LiveRange>& ranges);
+
+struct Allocation {
+  /// Register per tuple index; -1 for tuples without a result.
+  std::vector<int> reg_of;
+  int registers_used = 0;
+};
+
+/// Register-selection policy.
+///   LowestFree  always picks the lowest-numbered free register (minimises
+///               registers touched; maximises reuse);
+///   RoundRobin  cycles through the file before reusing a register (what
+///               many code generators do with temporaries; with a larger
+///               file it induces *fewer* reuse constraints, which is what
+///               the allocate-before-scheduling ablation sweeps).
+enum class AllocPolicy { LowestFree, RoundRobin };
+
+/// Linear-scan assignment of live ranges to `num_registers` registers.
+/// Throws Error when the block would need spill code (MAXLIVE too high).
+Allocation linear_scan(const BasicBlock& block,
+                       const std::vector<TupleIndex>& order,
+                       int num_registers,
+                       AllocPolicy policy = AllocPolicy::LowestFree);
+
+/// Check that no two overlapping live ranges share a register.
+bool verify_allocation(const BasicBlock& block,
+                       const std::vector<TupleIndex>& order,
+                       const Allocation& allocation);
+
+/// Anti-dependence edges {from, to} (in tuple-index space, from < to)
+/// imposed by register reuse under `allocation` computed on the original
+/// order: when register r passes from value A to value B, every reader of
+/// A — and A itself — must execute before B.
+std::vector<std::pair<TupleIndex, TupleIndex>> false_dependence_edges(
+    const BasicBlock& block, const Allocation& allocation);
+
+}  // namespace pipesched

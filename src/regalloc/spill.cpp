@@ -1,0 +1,152 @@
+#include "regalloc/spill.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "regalloc/regalloc.hpp"
+#include "util/check.hpp"
+
+namespace pipesched {
+
+namespace {
+
+std::vector<TupleIndex> identity_order(std::size_t n) {
+  std::vector<TupleIndex> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<TupleIndex>(i);
+  return order;
+}
+
+/// Positions (ascending) at which each value is read.
+std::vector<std::vector<TupleIndex>> use_positions(const BasicBlock& block) {
+  std::vector<std::vector<TupleIndex>> uses(block.size());
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const Tuple& t = block.tuple(static_cast<TupleIndex>(i));
+    for (const Operand* o : {&t.a, &t.b}) {
+      if (o->is_ref()) {
+        uses[static_cast<std::size_t>(o->ref)].push_back(
+            static_cast<TupleIndex>(i));
+      }
+    }
+  }
+  return uses;
+}
+
+/// One spill transformation: value `victim` is stored to `spill_var`
+/// right after its definition; uses at positions > split are redirected
+/// to a reload inserted immediately before the first such use.
+BasicBlock apply_spill(const BasicBlock& block, TupleIndex victim,
+                       TupleIndex split, const std::string& spill_var) {
+  BasicBlock out(block.label());
+  for (std::size_t v = 0; v < block.var_count(); ++v) {
+    out.var_id(block.var_name(static_cast<VarId>(v)));
+  }
+  const VarId slot = out.var_id(spill_var);
+
+  std::vector<TupleIndex> new_of_old(block.size(), -1);
+  TupleIndex reload = -1;
+
+  auto remap = [&](Operand o, TupleIndex user) {
+    if (!o.is_ref()) return o;
+    if (o.ref == victim && user > split) {
+      PS_ASSERT(reload >= 0);
+      return Operand::of_ref(reload);
+    }
+    return Operand::of_ref(new_of_old[static_cast<std::size_t>(o.ref)]);
+  };
+
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const auto old_index = static_cast<TupleIndex>(i);
+    const Tuple& t = block.tuple(old_index);
+
+    // First use past the split point: reload just before it.
+    if (reload < 0 && old_index > split) {
+      bool uses_victim = (t.a.is_ref() && t.a.ref == victim) ||
+                         (t.b.is_ref() && t.b.ref == victim);
+      if (uses_victim) {
+        reload = out.append(Opcode::Load, Operand::of_var(slot));
+      }
+    }
+
+    Tuple rewritten = t;
+    rewritten.a = remap(t.a, old_index);
+    rewritten.b = remap(t.b, old_index);
+    new_of_old[i] = out.append(rewritten);
+
+    if (old_index == victim) {
+      out.append(Opcode::Store, Operand::of_var(slot),
+                 Operand::of_ref(new_of_old[i]));
+    }
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace
+
+int block_max_live(const BasicBlock& block) {
+  if (block.empty()) return 0;
+  return max_live(compute_live_ranges(block, identity_order(block.size())));
+}
+
+SpillResult insert_spill_code(const BasicBlock& block, int max_live_target) {
+  PS_CHECK(max_live_target >= 3,
+           "spill insertion needs a target of at least 3 registers "
+           "(two operands plus a result)");
+  SpillResult result;
+  result.block = block;
+
+  // Each round removes one value from the first over-pressure point; the
+  // loop is bounded because every round strictly shrinks some live range.
+  for (int round = 0; round < 10000; ++round) {
+    const std::size_t n = result.block.size();
+    const auto ranges =
+        compute_live_ranges(result.block, identity_order(n));
+    const auto uses = use_positions(result.block);
+
+    // Find the first position where pressure exceeds the target.
+    std::vector<int> pressure(n, 0);
+    for (const LiveRange& r : ranges) {
+      for (int p = r.def_pos; p <= r.last_use_pos; ++p) ++pressure[p];
+    }
+    std::optional<int> hot;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (pressure[p] > max_live_target) {
+        hot = static_cast<int>(p);
+        break;
+      }
+    }
+    if (!hot) return result;
+
+    // Belady: among values live across *hot* with no use at it and a use
+    // after it, spill the one whose next use is farthest away.
+    TupleIndex victim = -1;
+    TupleIndex victim_next_use = -1;
+    for (const LiveRange& r : ranges) {
+      if (r.def_pos >= *hot || r.last_use_pos <= *hot) continue;
+      const auto& reads = uses[static_cast<std::size_t>(r.tuple)];
+      if (std::binary_search(reads.begin(), reads.end(),
+                             static_cast<TupleIndex>(*hot))) {
+        continue;  // operand of the hot instruction itself
+      }
+      const auto next = std::upper_bound(reads.begin(), reads.end(),
+                                         static_cast<TupleIndex>(*hot));
+      if (next == reads.end()) continue;
+      if (*next > victim_next_use) {
+        victim = r.tuple;
+        victim_next_use = *next;
+      }
+    }
+    PS_CHECK(victim >= 0,
+             "cannot reduce register pressure below "
+                 << max_live_target << " at position " << *hot + 1
+                 << " (every live value is used there)");
+
+    result.block = apply_spill(result.block, victim,
+                               static_cast<TupleIndex>(*hot),
+                               ".s" + std::to_string(result.values_spilled));
+    ++result.values_spilled;
+  }
+  throw Error("spill insertion did not converge");
+}
+
+}  // namespace pipesched

@@ -1,0 +1,37 @@
+// Spill-code creation (paper Section 3.1):
+//
+//   "if there are more live values than registers in the target machine,
+//    then all values beyond the number of registers will be explicitly
+//    re-loaded ... we insure that when registers are actually allocated
+//    later, there will be no need to introduce new spill instructions,
+//    since these could invalidate the optimality of the schedule."
+//
+// insert_spill_code() rewrites a block so that its register pressure (in
+// original order) never exceeds `max_live_target`: at each over-pressure
+// point the live value whose next use is farthest away (Belady's choice)
+// is stored to a fresh spill temporary right after its definition and
+// re-loaded just before its first use past the pressure point; later uses
+// read the reload. Spill stores are timing-transparent on typical machines
+// (Store uses no pipeline), so the cost is the reload's latency — exactly
+// the trade the paper describes.
+#pragma once
+
+#include "ir/block.hpp"
+
+namespace pipesched {
+
+struct SpillResult {
+  BasicBlock block;
+  int values_spilled = 0;
+};
+
+/// Rewrite `block` until max-live (original order) <= max_live_target.
+/// Requires max_live_target >= 3 (an instruction's two operands plus its
+/// result must be co-resident). Throws Error if the target is infeasible.
+SpillResult insert_spill_code(const BasicBlock& block, int max_live_target);
+
+/// Max simultaneously-live values of `block` in original order (an
+/// instruction's result counts as live alongside its operands).
+int block_max_live(const BasicBlock& block);
+
+}  // namespace pipesched

@@ -1,0 +1,89 @@
+#include "sched/exhaustive_scheduler.hpp"
+
+#include "util/check.hpp"
+
+namespace pipesched {
+
+namespace {
+
+struct ExhaustiveState {
+  const DepGraph* dag;
+  PipelineTimer* timer;
+  std::vector<int> unplaced_preds;
+  ExhaustiveResult* result;
+  std::uint64_t max_schedules;
+  int best_nops = -1;  // -1 = no complete schedule yet
+
+  bool budget_left() const {
+    return max_schedules == 0 ||
+           result->schedules_examined < max_schedules;
+  }
+};
+
+void descend(ExhaustiveState& state) {
+  const std::size_t n = state.dag->size();
+  if (state.timer->depth() == n) {
+    ++state.result->schedules_examined;
+    const int mu = state.timer->total_nops();
+    if (state.best_nops < 0 || mu < state.best_nops) {
+      state.best_nops = mu;
+      state.result->best = state.timer->snapshot();
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!state.budget_left()) {
+      state.result->completed = false;
+      return;
+    }
+    if (state.unplaced_preds[i] != 0 ||
+        state.timer->is_placed(static_cast<TupleIndex>(i))) {
+      continue;
+    }
+    // Ground truth must branch over heterogeneous unit-signature groups
+    // exactly like the optimal search (one group for homogeneous ops).
+    const auto& groups = state.timer->machine().unit_groups(
+        state.dag->block().tuple(static_cast<TupleIndex>(i)).op);
+    const std::size_t branches = groups.empty() ? 1 : groups.size();
+    for (std::size_t g = 0; g < branches && state.budget_left(); ++g) {
+      if (groups.empty()) {
+        state.timer->push(static_cast<TupleIndex>(i));
+      } else {
+        state.timer->push(static_cast<TupleIndex>(i), groups[g]);
+      }
+      for (TupleIndex s : state.dag->succs(static_cast<TupleIndex>(i))) {
+        --state.unplaced_preds[static_cast<std::size_t>(s)];
+      }
+      descend(state);
+      for (TupleIndex s : state.dag->succs(static_cast<TupleIndex>(i))) {
+        ++state.unplaced_preds[static_cast<std::size_t>(s)];
+      }
+      state.timer->pop();
+    }
+  }
+}
+
+}  // namespace
+
+ExhaustiveResult exhaustive_schedule(const Machine& machine,
+                                     const DepGraph& dag,
+                                     std::uint64_t max_schedules) {
+  ExhaustiveResult result;
+  PipelineTimer timer(machine, dag);
+  ExhaustiveState state;
+  state.dag = &dag;
+  state.timer = &timer;
+  state.unplaced_preds.resize(dag.size());
+  for (std::size_t i = 0; i < dag.size(); ++i) {
+    state.unplaced_preds[i] =
+        static_cast<int>(dag.preds(static_cast<TupleIndex>(i)).size());
+  }
+  state.result = &result;
+  state.max_schedules = max_schedules;
+  descend(state);
+  PS_CHECK(result.schedules_examined > 0 || dag.size() == 0,
+           "exhaustive search evaluated no schedule (cap too small?)");
+  return result;
+}
+
+}  // namespace pipesched

@@ -1,0 +1,30 @@
+// Exhaustive schedule search (paper Section 2.3).
+//
+// Enumerates every legal topological order of the block, evaluates each
+// with the timing engine, and keeps the cheapest. Exponential — usable as
+// ground truth for blocks up to a dozen instructions — and the source of
+// Table 1's "Pruning Illegal Calls" column (number of legal schedules,
+// i.e. the search size after pruning only dependence-violating orders).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sched/schedule.hpp"
+#include "sched/timing.hpp"
+
+namespace pipesched {
+
+struct ExhaustiveResult {
+  Schedule best;
+  std::uint64_t schedules_examined = 0;  ///< complete legal orders evaluated
+  bool completed = true;                 ///< false if the cap stopped us
+};
+
+/// Search every legal order, evaluating at most `max_schedules` complete
+/// schedules (0 = unlimited; beware factorial growth).
+ExhaustiveResult exhaustive_schedule(const Machine& machine,
+                                     const DepGraph& dag,
+                                     std::uint64_t max_schedules = 0);
+
+}  // namespace pipesched

@@ -1,0 +1,385 @@
+#include "sched/optimal_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/list_scheduler.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pipesched {
+
+namespace {
+
+/// Partition tuples into equivalence classes for prune [5c].
+/// Paper rule: every sigma-empty, rho-empty instruction shares one class
+/// (such instructions are timing-transparent, so their relative order is
+/// immaterial). Strong rule (extension): additionally, instructions with
+/// identical (pipeline set, predecessor set, immediate successor set) are
+/// DAG automorphisms of one another and share a class — this *subsumes*
+/// the paper rule's class rather than replacing it.
+std::vector<int> equivalence_classes(const Machine& machine,
+                                     const DepGraph& dag, bool strong,
+                                     bool pressure_constrained) {
+  const std::size_t n = dag.size();
+  std::vector<int> cls(n, -1);
+  int next = 1;
+
+  // Paper rule: one shared class (id 0) for null-like instructions. The
+  // rule is cost-sound but NOT pressure-sound (reordering null-like defs
+  // shifts live ranges), so it is disabled under a register ceiling; the
+  // strong automorphism classes below remain sound either way.
+  if (!pressure_constrained) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Opcode op = dag.block().tuple(static_cast<TupleIndex>(i)).op;
+      if (!machine.uses_pipeline(op) &&
+          dag.preds(static_cast<TupleIndex>(i)).empty()) {
+        cls[i] = 0;
+      }
+    }
+  }
+  if (!strong) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cls[i] < 0) cls[i] = next++;
+    }
+    return cls;
+  }
+
+  // Strong classes for the rest: quadratic scan is fine at block sizes.
+  std::vector<DynBitset> succ_sets(n, DynBitset(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (TupleIndex s : dag.succs(static_cast<TupleIndex>(i))) {
+      succ_sets[i].set(static_cast<std::size_t>(s));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cls[i] >= 0) continue;
+    cls[i] = next;
+    const auto& units_i = machine.pipelines_for(
+        dag.block().tuple(static_cast<TupleIndex>(i)).op);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (cls[j] >= 0) continue;
+      const auto& units_j = machine.pipelines_for(
+          dag.block().tuple(static_cast<TupleIndex>(j)).op);
+      if (units_i == units_j &&
+          dag.pred_set(static_cast<TupleIndex>(i)) ==
+              dag.pred_set(static_cast<TupleIndex>(j)) &&
+          succ_sets[i] == succ_sets[j]) {
+        cls[j] = next;
+      }
+    }
+    ++next;
+  }
+  return cls;
+}
+
+/// Latency-weighted height below each tuple: a chain from t's issue to the
+/// final instruction's issue needs at least lh(t) further cycles, because
+/// each dependence edge forces max(1, latency(producer)) cycles between
+/// issues. Used by the admissible lower bound.
+std::vector<int> latency_heights(const Machine& machine, const DepGraph& dag) {
+  const std::size_t n = dag.size();
+  std::vector<int> lh(n, 0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    const auto index = static_cast<TupleIndex>(ri);
+    const int step =
+        std::max(1, machine.latency_for(dag.block().tuple(index).op));
+    for (TupleIndex s : dag.succs(index)) {
+      lh[ri] = std::max(lh[ri], step + lh[static_cast<std::size_t>(s)]);
+    }
+  }
+  return lh;
+}
+
+class Search {
+ public:
+  static constexpr int kInfiniteCost =
+      std::numeric_limits<int>::max() / 2;
+
+  Search(const Machine& machine, const DepGraph& dag,
+         const SearchConfig& config, const PipelineState& initial)
+      : machine_(machine),
+        dag_(dag),
+        config_(config),
+        initial_(initial),
+        timer_(machine, dag, initial),
+        n_(dag.size()),
+        classes_(equivalence_classes(machine, dag,
+                                     config.strong_equivalence,
+                                     config.max_live_registers > 0)),
+        latency_height_(latency_heights(machine, dag)) {}
+
+  OptimalResult run() {
+    Timer wall;
+    OptimalResult result;
+
+    // Step [1]: evaluate the seed schedule; it becomes the incumbent pi.
+    std::vector<TupleIndex> seed;
+    if (config_.seed_with_list_schedule) {
+      seed = list_schedule_order(dag_);
+    } else {
+      seed.resize(n_);
+      for (std::size_t i = 0; i < n_; ++i) {
+        seed[i] = static_cast<TupleIndex>(i);
+      }
+    }
+    result.best = evaluate_order(machine_, dag_, seed, initial_);
+    best_nops_ = result.best.total_nops();
+    result.stats.initial_nops = best_nops_;
+
+    seed_position_.assign(n_, 0);
+    for (std::size_t i = 0; i < n_; ++i) {
+      seed_position_[static_cast<std::size_t>(seed[i])] = static_cast<int>(i);
+    }
+    candidates_by_seed_ = seed;
+
+    unplaced_preds_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      unplaced_preds_[i] =
+          static_cast<int>(dag_.preds(static_cast<TupleIndex>(i)).size());
+    }
+
+    tried_stack_.assign(n_, std::vector<char>(n_ + 1, 0));
+
+    // Register-pressure tracking (Section 3.1 discipline): remaining use
+    // slots per value, and the live-value counter.
+    if (config_.max_live_registers > 0) {
+      remaining_uses_.assign(n_, 0);
+      for (std::size_t i = 0; i < n_; ++i) {
+        const Tuple& t = dag_.block().tuple(static_cast<TupleIndex>(i));
+        for (const Operand* o : {&t.a, &t.b}) {
+          if (o->is_ref()) {
+            ++remaining_uses_[static_cast<std::size_t>(o->ref)];
+          }
+        }
+      }
+      total_uses_ = remaining_uses_;
+      live_before_stack_.assign(n_, 0);
+      if (seed_max_pressure(seed) > config_.max_live_registers) {
+        // The seed itself needs spill code; it cannot serve as incumbent.
+        best_nops_ = kInfiniteCost;
+        result.stats.feasible = false;
+      }
+    }
+
+    best_schedule_ = &result.best;
+    stats_ = &result.stats;
+    if (n_ > 0 && best_nops_ > 0) descend();
+    result.stats.best_nops = result.best.total_nops();
+    result.stats.seconds = wall.seconds();
+    return result;
+  }
+
+ private:
+  bool curtailed() const {
+    return config_.curtail_lambda != 0 &&
+           stats_->omega_calls >= config_.curtail_lambda;
+  }
+
+  /// Admissible lower bound on the final issue cycle of any completion of
+  /// the current partial schedule.
+  int completion_lower_bound() const {
+    const int t_now = timer_.last_issue_cycle();
+    const std::size_t remaining = n_ - timer_.depth();
+    int bound = t_now + static_cast<int>(remaining);
+    for (std::size_t i = 0; i < n_; ++i) {
+      const auto index = static_cast<TupleIndex>(i);
+      if (timer_.is_placed(index) || unplaced_preds_[i] != 0) continue;
+      // Ready instruction: its earliest issue is bounded by its placed
+      // producers, and a latency-weighted chain hangs below it.
+      int earliest = t_now + 1;
+      for (TupleIndex p : dag_.preds(index)) {
+        const int latency = machine_.latency_for(dag_.block().tuple(p).op);
+        earliest = std::max(earliest, timer_.issue_cycle_of(p) + latency);
+      }
+      bound = std::max(bound, earliest + latency_height_[i]);
+    }
+    return bound;
+  }
+
+  /// Maximum simultaneously-live values along `order` (the allocator's
+  /// convention: an instruction's result is live concurrently with its
+  /// operands).
+  int seed_max_pressure(const std::vector<TupleIndex>& order) {
+    std::vector<int> uses = total_uses_;
+    int live = 0;
+    int peak = 0;
+    for (TupleIndex t : order) {
+      const Tuple& tuple = dag_.block().tuple(t);
+      const bool result = opcode_has_result(tuple.op);
+      peak = std::max(peak, live + (result ? 1 : 0));
+      if (result) ++live;
+      for (const Operand* o : {&tuple.a, &tuple.b}) {
+        if (o->is_ref() &&
+            --uses[static_cast<std::size_t>(o->ref)] == 0) {
+          --live;
+        }
+      }
+      if (result && total_uses_[static_cast<std::size_t>(t)] == 0) --live;
+    }
+    return peak;
+  }
+
+  /// Would placing `t` now exceed the pressure ceiling?
+  bool pressure_blocks(TupleIndex t) const {
+    if (config_.max_live_registers <= 0) return false;
+    const bool result = opcode_has_result(dag_.block().tuple(t).op);
+    return live_ + (result ? 1 : 0) > config_.max_live_registers;
+  }
+
+  void pressure_push(TupleIndex t) {
+    if (config_.max_live_registers <= 0) return;
+    live_before_stack_[timer_.depth() - 1] = live_;
+    const Tuple& tuple = dag_.block().tuple(t);
+    if (opcode_has_result(tuple.op)) ++live_;
+    for (const Operand* o : {&tuple.a, &tuple.b}) {
+      if (o->is_ref() &&
+          --remaining_uses_[static_cast<std::size_t>(o->ref)] == 0) {
+        --live_;
+      }
+    }
+    if (opcode_has_result(tuple.op) &&
+        total_uses_[static_cast<std::size_t>(t)] == 0) {
+      --live_;
+    }
+  }
+
+  void pressure_pop(TupleIndex t) {
+    if (config_.max_live_registers <= 0) return;
+    const Tuple& tuple = dag_.block().tuple(t);
+    for (const Operand* o : {&tuple.a, &tuple.b}) {
+      if (o->is_ref()) ++remaining_uses_[static_cast<std::size_t>(o->ref)];
+    }
+    live_ = live_before_stack_[timer_.depth() - 1];
+  }
+
+  void descend() {
+    if (timer_.depth() == n_) {
+      ++stats_->schedules_examined;
+      stats_->feasible = true;
+      // Alpha-beta guarantees we only reach completion strictly below the
+      // incumbent (when enabled); compare anyway for the ablation modes.
+      if (timer_.total_nops() < best_nops_) {
+        best_nops_ = timer_.total_nops();
+        *best_schedule_ = timer_.snapshot();
+      }
+      return;
+    }
+
+    const int position = static_cast<int>(timer_.depth()) + 1;  // 1-based
+
+    // Window rule from [5a]: an unscheduled instruction whose latest legal
+    // position equals the slot being filled must be scheduled now; at most
+    // one such instruction can exist, and it is necessarily ready.
+    TupleIndex forced = -1;
+    if (config_.window_prune) {
+      for (std::size_t i = 0; i < n_; ++i) {
+        const auto index = static_cast<TupleIndex>(i);
+        if (timer_.is_placed(index)) continue;
+        if (dag_.latest_position(index) == position) {
+          forced = index;
+          break;
+        }
+      }
+      PS_ASSERT(forced < 0 || unplaced_preds_[static_cast<std::size_t>(
+                                  forced)] == 0);
+    }
+
+    // Per-depth record of equivalence classes already tried at this slot
+    // (rule [5c] only filters alternatives for the *same* position).
+    std::vector<char>& tried_classes = tried_stack_[timer_.depth()];
+    std::fill(tried_classes.begin(), tried_classes.end(), 0);
+
+    for (TupleIndex candidate : candidates_by_seed_) {
+      if (curtailed()) {
+        stats_->completed = false;
+        return;
+      }
+      if (timer_.is_placed(candidate)) continue;
+      if (unplaced_preds_[static_cast<std::size_t>(candidate)] != 0) {
+        continue;  // rule [5b]
+      }
+      if (forced >= 0 && candidate != forced) continue;
+      if (pressure_blocks(candidate)) continue;
+
+      if (config_.equivalence_prune) {
+        const int cls = classes_[static_cast<std::size_t>(candidate)];
+        if (tried_classes[static_cast<std::size_t>(cls)]) continue;
+        tried_classes[static_cast<std::size_t>(cls)] = true;
+      }
+
+      // Branch over the candidate's unit-signature groups (footnote 3's
+      // generalization): homogeneous ops have exactly one group, so the
+      // paper's machines take a single pass here.
+      const auto& groups =
+          machine_.unit_groups(dag_.block().tuple(candidate).op);
+      const std::size_t branches = groups.empty() ? 1 : groups.size();
+      for (std::size_t g = 0; g < branches; ++g) {
+        if (curtailed()) {
+          stats_->completed = false;
+          return;
+        }
+        ++stats_->omega_calls;
+        if (groups.empty()) {
+          timer_.push(candidate);
+        } else {
+          timer_.push(candidate, groups[g]);
+        }
+        pressure_push(candidate);
+        for (TupleIndex s : dag_.succs(candidate)) {
+          --unplaced_preds_[static_cast<std::size_t>(s)];
+        }
+
+        bool keep = true;
+        if (config_.alpha_beta && timer_.total_nops() >= best_nops_) {
+          keep = false;  // rule [6]
+        }
+        if (keep && config_.lower_bound_prune &&
+            completion_lower_bound() - static_cast<int>(n_) >= best_nops_) {
+          keep = false;
+        }
+        if (keep) descend();
+
+        for (TupleIndex s : dag_.succs(candidate)) {
+          ++unplaced_preds_[static_cast<std::size_t>(s)];
+        }
+        pressure_pop(candidate);
+        timer_.pop();
+
+        if (!stats_->completed) return;    // curtailed deeper in the tree
+        if (best_nops_ == 0) return;       // cannot improve on zero NOPs
+      }
+    }
+  }
+
+  const Machine& machine_;
+  const DepGraph& dag_;
+  const SearchConfig& config_;
+  const PipelineState& initial_;
+  PipelineTimer timer_;
+  const std::size_t n_;
+  std::vector<int> classes_;
+  std::vector<int> latency_height_;
+  std::vector<int> seed_position_;
+  std::vector<TupleIndex> candidates_by_seed_;
+  std::vector<int> unplaced_preds_;
+  std::vector<std::vector<char>> tried_stack_;
+  std::vector<int> remaining_uses_;
+  std::vector<int> total_uses_;
+  std::vector<int> live_before_stack_;
+  int live_ = 0;
+  int best_nops_ = 0;
+  Schedule* best_schedule_ = nullptr;
+  SearchStats* stats_ = nullptr;
+};
+
+}  // namespace
+
+OptimalResult optimal_schedule(const Machine& machine, const DepGraph& dag,
+                               const SearchConfig& config,
+                               const PipelineState& initial) {
+  Search search(machine, dag, config, initial);
+  return search.run();
+}
+
+}  // namespace pipesched

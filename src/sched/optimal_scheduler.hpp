@@ -1,0 +1,83 @@
+// Optimality-preserving branch-and-bound schedule search — the paper's
+// prime contribution (Section 4.2.3).
+//
+// The search walks partial schedules Phi depth-first, extending each by
+// one ready instruction at a time through the incremental timing engine.
+// Candidates at each depth are tried in seed-schedule order, so the first
+// descent reproduces the list schedule and seeds the alpha-beta bound with
+// a good incumbent. Pruning rules, each individually toggleable so the
+// ablation bench can price them:
+//
+//   readiness  [5b]  only instructions whose predecessors are all placed;
+//   window     [5a]  if some unscheduled instruction's latest legal
+//                    position (Definition 7) *is* the slot being filled,
+//                    it is the only candidate worth trying;
+//   equivalence[5c]  at a given depth, at most one candidate per
+//                    equivalence class is tried. The paper's literal rule
+//                    classes together instructions with sigma = empty and
+//                    rho = empty; the optional *strong* rule classes
+//                    instructions with identical pipeline set, identical
+//                    predecessor set and identical successor set (a DAG
+//                    automorphism, so provably cost-preserving);
+//   alpha-beta [6]   a partial schedule already costing >= the incumbent
+//                    cannot improve (eta never decreases);
+//   lower bound      (extension, off by default) latency-weighted critical
+//                    path of the unscheduled suffix, admissible, prunes
+//                    partials whose best possible completion cannot beat
+//                    the incumbent.
+//
+// On machines with heterogeneous alternative units (the general Section
+// 4.1 model footnote 3 excludes) each candidate placement additionally
+// branches over the opcode's unit-signature groups, so the unit choice is
+// part of the optimized decision; homogeneous machines degenerate to a
+// single pass and behave exactly as the paper's algorithm.
+//
+// The curtail point lambda (Section 2.3) bounds worst-case compile time:
+// the search stops after lambda candidate placements (the paper's Lambda
+// counter of step [4]) and reports the best schedule found so far, flagged
+// possibly-suboptimal.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/schedule.hpp"
+#include "sched/timing.hpp"
+
+namespace pipesched {
+
+struct SearchConfig {
+  /// Maximum candidate placements (Lambda limit); 0 = search to exhaustion.
+  std::uint64_t curtail_lambda = 1000;
+
+  bool alpha_beta = true;             ///< rule [6]
+  bool equivalence_prune = true;      ///< rule [5c], paper form
+  bool strong_equivalence = false;    ///< automorphism classes (extension)
+  bool window_prune = true;           ///< forced-position rule from [5a]
+  bool lower_bound_prune = false;     ///< critical-path bound (extension)
+  bool seed_with_list_schedule = true;  ///< step [1] seed; else original order
+
+  /// Register-pressure ceiling (0 = unconstrained). When set, the search
+  /// only explores schedules whose simultaneously-live value count never
+  /// exceeds this, implementing Section 3.1's discipline the other way
+  /// round: instead of inserting spill code after the fact, the scheduler
+  /// is barred from creating schedules the register file cannot hold, so
+  /// allocation afterwards is guaranteed spill-free. The result is the
+  /// optimal schedule *among the feasible ones*; stats.feasible reports
+  /// whether any complete feasible schedule was found.
+  int max_live_registers = 0;
+};
+
+struct OptimalResult {
+  Schedule best;
+  SearchStats stats;
+};
+
+/// Run the branch-and-bound search on one block. `initial` carries
+/// residual pipeline occupancy at block entry (paper footnote 1: adjacent
+/// blocks are handled by modifying the initial conditions of the
+/// analysis).
+OptimalResult optimal_schedule(const Machine& machine, const DepGraph& dag,
+                               const SearchConfig& config = {},
+                               const PipelineState& initial = {});
+
+}  // namespace pipesched

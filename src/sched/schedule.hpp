@@ -1,0 +1,67 @@
+// Schedule representation shared by every scheduler.
+//
+// A schedule is a permutation of the block's tuple indices together with
+// the NOP padding the timing engine derived for it: eta(i) NOPs
+// immediately before the i-th scheduled instruction (Definition 4), total
+// mu (Definition 5), and the concrete issue cycle of each instruction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/dag.hpp"
+#include "machine/machine.hpp"
+
+namespace pipesched {
+
+struct Schedule {
+  std::vector<TupleIndex> order;  ///< Pi: tuple index at each position
+  std::vector<int> nops;          ///< eta(i) per position
+  std::vector<int> issue_cycle;   ///< t(i): cycle the i-th instruction issues
+  std::vector<PipelineId> unit;   ///< pipeline unit chosen per position
+
+  std::size_t size() const { return order.size(); }
+
+  /// mu(Pi): total NOPs required by the schedule.
+  int total_nops() const;
+
+  /// Cycle the last instruction issues (n + mu for non-empty schedules).
+  int completion_cycle() const;
+
+  /// 1-based position of tuple `t` within the schedule; -1 if absent.
+  int position_of(TupleIndex t) const;
+
+  /// Listing with NOPs shown inline, e.g.
+  ///   cycle 1: 3: Load #a        [loader]
+  ///   cycle 2: NOP
+  std::string to_string(const BasicBlock& block, const Machine& machine) const;
+};
+
+/// Statistics from one scheduler invocation. Field names follow the
+/// paper's Section 4.2.3 terminology.
+struct SearchStats {
+  /// Lambda: incremental NOP-insertion invocations made during the search
+  /// (one per candidate placement attempt; the paper's "calls to omega").
+  /// The initial list-schedule evaluation (step [1]) is not counted.
+  std::uint64_t omega_calls = 0;
+
+  /// Complete schedules whose cost reached comparison with the incumbent.
+  std::uint64_t schedules_examined = 0;
+
+  /// True when the search space was exhausted (termination condition [1]:
+  /// result provably optimal); false when the curtail point truncated it
+  /// (condition [2]: possibly suboptimal).
+  bool completed = true;
+
+  /// NOPs of the seed (list) schedule and of the best schedule found.
+  int initial_nops = 0;
+  int best_nops = 0;
+
+  /// With a register-pressure ceiling: whether a complete schedule within
+  /// the ceiling was found (true for unconstrained searches).
+  bool feasible = true;
+
+  double seconds = 0.0;
+};
+
+}  // namespace pipesched

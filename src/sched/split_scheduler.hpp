@@ -1,0 +1,42 @@
+// Block-splitting scheduler (paper Section 5.3):
+//
+//   "For very large basic blocks, it might be useful to split the basic
+//    blocks into smaller sections (containing, say, twenty instructions or
+//    less each) and find solutions which are locally optimal. A good
+//    heuristic for the split might be to simply partition the list
+//    schedule."
+//
+// Exactly that: the list schedule is cut into windows of `window_size`
+// instructions; each window is branch-and-bound searched to a locally
+// optimal order *given everything already scheduled* (the shared
+// incremental timer carries issue times and unit occupancy across the
+// cut), then frozen. Window k's instructions can only depend on windows
+// <= k because the list order is topological, so any within-window
+// reordering stays globally legal.
+//
+// Guarantees: the result never needs more NOPs than the plain list
+// schedule (each window's search starts from the list order as incumbent),
+// and equals the global optimum whenever window_size >= block size.
+#pragma once
+
+#include "sched/optimal_scheduler.hpp"
+#include "sched/schedule.hpp"
+
+namespace pipesched {
+
+struct SplitConfig {
+  int window_size = 20;
+  /// Per-window search limit; total work is bounded by windows * lambda.
+  SearchConfig search;
+};
+
+struct SplitResult {
+  Schedule schedule;
+  SearchStats stats;  ///< omega calls summed over windows
+  int windows = 0;
+};
+
+SplitResult split_schedule(const Machine& machine, const DepGraph& dag,
+                           const SplitConfig& config = {});
+
+}  // namespace pipesched

@@ -1,0 +1,78 @@
+// Cycle-stepped pipeline simulator (paper Section 2.2, architecture's view).
+//
+// Implements the three delay mechanisms the paper shows are orthogonal to
+// the scheduling problem, as an *independent* code path from the
+// scheduler's incremental timing engine — the property tests assert that
+//
+//   interlock stalls(order) == NOP count the scheduler padded into order
+//
+// for every scheduler's output, which is the strongest cross-check we have
+// that the timing semantics are implemented correctly.
+//
+// Mechanisms:
+//   NOP padding        validate_padded():   the compiler already inserted
+//                      NOPs; the simulator re-executes the padded stream
+//                      and reports the first hazard, if any.
+//   Implicit interlock simulate_interlocked(): hardware scoreboard delays
+//                      issue until operands are ready and a unit is free.
+//   Explicit interlock explicit_wait_tags(): the compiler tags each
+//                      instruction with the cycles it must wait (Tera-
+//                      style count fields); honoring the tags must give a
+//                      hazard-free execution with identical timing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/dag.hpp"
+#include "machine/machine.hpp"
+#include "sched/schedule.hpp"
+
+namespace pipesched {
+
+/// One issue event in a simulation trace.
+struct SimEvent {
+  int cycle = 0;
+  TupleIndex tuple = -1;  ///< -1 for a NOP / stall slot
+  PipelineId unit = kNoPipeline;
+};
+
+struct SimResult {
+  bool ok = true;
+  std::string error;            ///< first hazard (validate_padded only)
+  int total_delay = 0;          ///< stall cycles / NOP slots observed
+  int completion_cycle = 0;     ///< cycle of the final instruction issue
+  std::vector<int> issue_cycle; ///< per position of the input order
+  std::vector<SimEvent> trace;  ///< cycle-by-cycle issue log
+};
+
+/// Re-execute a padded schedule and verify it is hazard-free.
+SimResult validate_padded(const Machine& machine, const DepGraph& dag,
+                          const Schedule& schedule);
+
+/// Execute a bare order on interlocked hardware; stalls are counted.
+/// `order` must be a legal topological order (checked). Unit selection:
+/// first free unit (hardware dispatch); on machines with heterogeneous
+/// alternatives this may differ from a scheduler's deliberate choice —
+/// pass `unit_assignment` (per order position; kNoPipeline for
+/// sigma-empty ops) to replay a specific assignment exactly.
+SimResult simulate_interlocked(const Machine& machine, const DepGraph& dag,
+                               const std::vector<TupleIndex>& order);
+SimResult simulate_interlocked(const Machine& machine, const DepGraph& dag,
+                               const std::vector<TupleIndex>& order,
+                               const std::vector<PipelineId>& unit_assignment);
+
+/// Per-instruction explicit-wait tags for `order` (cycles each instruction
+/// must wait after the previous issue), with the same timing as the
+/// interlocked execution.
+std::vector<int> explicit_wait_tags(const Machine& machine,
+                                    const DepGraph& dag,
+                                    const std::vector<TupleIndex>& order);
+
+/// ASCII occupancy chart: one row per pipeline unit, one column per cycle,
+/// showing which tuple occupies each unit's enqueue window.
+std::string render_pipeline_trace(const Machine& machine,
+                                  const BasicBlock& block,
+                                  const SimResult& result);
+
+}  // namespace pipesched

@@ -1,0 +1,162 @@
+#include "synth/generator.hpp"
+
+#include "frontend/codegen.hpp"
+#include "frontend/opt/passes.hpp"
+#include "util/check.hpp"
+
+namespace pipesched {
+
+namespace {
+
+enum class Form {
+  VConst,        // v = c
+  VCopy,         // v = v
+  VAddV,         // v = v + v
+  VSubV,         // v = v - v
+  VMulV,         // v = v * v
+  VDivV,         // v = v / v
+  VAddC,         // v = v + c
+  VMulC,         // v = v * c
+  VNeg,          // v = -v
+  VMulAdd,       // v = v + v * v
+  VCompound,     // v = (v + v) * (v - v)
+};
+
+struct FormEntry {
+  Form form;
+  const char* pattern;
+  double weight;
+};
+
+// Reconstruction of Table 6 (see header comment).
+constexpr FormEntry kForms[] = {
+    {Form::VConst, "v = c", 12},
+    {Form::VCopy, "v = v", 10},
+    {Form::VAddV, "v = v + v", 22},
+    {Form::VSubV, "v = v - v", 13},
+    {Form::VMulV, "v = v * v", 9},
+    {Form::VDivV, "v = v / v", 4},
+    {Form::VAddC, "v = v + c", 14},
+    {Form::VMulC, "v = v * c", 6},
+    {Form::VNeg, "v = -v", 3},
+    {Form::VMulAdd, "v = v + v * v", 5},
+    {Form::VCompound, "v = (v + v) * (v - v)", 2},
+};
+
+class SourceGenerator {
+ public:
+  explicit SourceGenerator(const GeneratorParams& params)
+      : params_(params), rng_(params.seed) {
+    PS_CHECK(params.statements >= 1, "need at least one statement");
+    PS_CHECK(params.variables >= 1, "need at least one variable");
+    PS_CHECK(params.constants >= 1, "need at least one constant");
+    for (int v = 0; v < params.variables; ++v) {
+      variables_.push_back("v" + std::to_string(v));
+    }
+    // Distinct small constants; values themselves are immaterial to the
+    // scheduling problem but kept distinct so CSE behaves realistically.
+    for (int c = 0; c < params.constants; ++c) {
+      constant_pool_.push_back(2 + 3 * c);
+    }
+    for (const FormEntry& f : kForms) weights_.push_back(f.weight);
+  }
+
+  SourceProgram run() {
+    SourceProgram program;
+    for (int s = 0; s < params_.statements; ++s) {
+      program.statements.push_back(statement());
+    }
+    return program;
+  }
+
+ private:
+  const std::string& pick_var() {
+    return variables_[rng_.next_below(variables_.size())];
+  }
+
+  std::int64_t pick_const() {
+    return constant_pool_[rng_.next_below(constant_pool_.size())];
+  }
+
+  ExprPtr var() { return Expr::make_variable(pick_var()); }
+  ExprPtr num() { return Expr::make_number(pick_const()); }
+
+  ExprPtr binary(Expr::Kind kind, ExprPtr l, ExprPtr r) {
+    return Expr::make_binary(kind, std::move(l), std::move(r));
+  }
+
+  Stmt statement() {
+    Stmt s;
+    s.target = pick_var();
+    switch (kForms[rng_.next_weighted(weights_)].form) {
+      case Form::VConst:
+        s.value = num();
+        break;
+      case Form::VCopy:
+        s.value = var();
+        break;
+      case Form::VAddV:
+        s.value = binary(Expr::Kind::Add, var(), var());
+        break;
+      case Form::VSubV:
+        s.value = binary(Expr::Kind::Sub, var(), var());
+        break;
+      case Form::VMulV:
+        s.value = binary(Expr::Kind::Mul, var(), var());
+        break;
+      case Form::VDivV:
+        s.value = binary(Expr::Kind::Div, var(), var());
+        break;
+      case Form::VAddC:
+        s.value = binary(Expr::Kind::Add, var(), num());
+        break;
+      case Form::VMulC:
+        s.value = binary(Expr::Kind::Mul, var(), num());
+        break;
+      case Form::VNeg:
+        s.value = Expr::make_negate(var());
+        break;
+      case Form::VMulAdd:
+        s.value = binary(Expr::Kind::Add, var(),
+                         binary(Expr::Kind::Mul, var(), var()));
+        break;
+      case Form::VCompound:
+        s.value = binary(Expr::Kind::Mul,
+                         binary(Expr::Kind::Add, var(), var()),
+                         binary(Expr::Kind::Sub, var(), var()));
+        break;
+    }
+    return s;
+  }
+
+  const GeneratorParams& params_;
+  Rng rng_;
+  std::vector<std::string> variables_;
+  std::vector<std::int64_t> constant_pool_;
+  std::vector<double> weights_;
+};
+
+}  // namespace
+
+const std::vector<StatementForm>& statement_frequency_table() {
+  static const std::vector<StatementForm> kTable = [] {
+    std::vector<StatementForm> table;
+    for (const FormEntry& f : kForms) table.push_back({f.pattern, f.weight});
+    return table;
+  }();
+  return kTable;
+}
+
+SourceProgram generate_source(const GeneratorParams& params) {
+  return SourceGenerator(params).run();
+}
+
+BasicBlock generate_block(const GeneratorParams& params) {
+  const SourceProgram source = generate_source(params);
+  BasicBlock block =
+      generate_tuples(source, "synth_" + std::to_string(params.seed));
+  if (params.optimize) block = run_standard_pipeline(block);
+  return block;
+}
+
+}  // namespace pipesched

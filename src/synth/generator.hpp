@@ -1,0 +1,51 @@
+// Synthetic basic-block generator (paper Section 5.2).
+//
+// "A C program was developed to randomly generate basic blocks ... This
+//  program requires as input the number of statements, variables, and
+//  constants desired in the generated code. It then generates a random
+//  sequence of assignment statements satisfying the desired conditions."
+//
+// Statement-type frequencies loosely follow the Alexander & Wortman
+// instruction-mix study [AlW75], as in the paper's Table 6. The original
+// table's values did not survive scanning, so the weights below are a
+// documented reconstruction (DESIGN.md Section 4): assignments are
+// dominated by one- and two-operand additive forms, multiplication is a
+// third as common as addition, division is rare.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "ir/block.hpp"
+#include "util/rng.hpp"
+
+namespace pipesched {
+
+/// One row of the (reconstructed) Table 6.
+struct StatementForm {
+  std::string pattern;  ///< e.g. "v = v + v"
+  double weight = 0;    ///< relative frequency
+};
+
+/// The reconstructed statement-frequency table.
+const std::vector<StatementForm>& statement_frequency_table();
+
+struct GeneratorParams {
+  int statements = 8;   ///< assignment statements to generate
+  int variables = 4;    ///< size of the variable pool
+  int constants = 2;    ///< size of the constant pool
+  std::uint64_t seed = 1;
+  bool optimize = true; ///< run the standard pass pipeline after codegen
+};
+
+/// Random source program over pools of `variables` names and `constants`
+/// literal values, with statement forms drawn per the frequency table.
+SourceProgram generate_source(const GeneratorParams& params);
+
+/// Source -> tuple code (-> optimizer when params.optimize). Deterministic
+/// in params.seed.
+BasicBlock generate_block(const GeneratorParams& params);
+
+}  // namespace pipesched

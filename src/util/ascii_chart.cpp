@@ -1,0 +1,199 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pipesched {
+
+namespace {
+
+struct Range {
+  double lo = 0;
+  double hi = 1;
+
+  double clamp01(double v) const {
+    if (hi <= lo) return 0.5;
+    return std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+  }
+};
+
+Range find_range(const std::vector<double>& values) {
+  Range r{std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+  for (double v : values) {
+    r.lo = std::min(r.lo, v);
+    r.hi = std::max(r.hi, v);
+  }
+  if (!std::isfinite(r.lo)) return {0, 1};
+  if (r.hi == r.lo) r.hi = r.lo + 1;
+  return r;
+}
+
+double to_log(double y, double floor_value) {
+  return std::log10(std::max(y, floor_value));
+}
+
+std::string format_tick(double v, bool log_scale) {
+  std::ostringstream oss;
+  if (log_scale) {
+    oss << "1e" << std::setprecision(2) << v;
+  } else if (std::abs(v) >= 1000 || (v != 0 && std::abs(v) < 0.01)) {
+    oss << std::scientific << std::setprecision(1) << v;
+  } else {
+    oss << std::fixed << std::setprecision(std::abs(v) < 10 ? 2 : 1) << v;
+  }
+  return oss.str();
+}
+
+class Canvas {
+ public:
+  Canvas(const ChartOptions& options) : opt_(options) {
+    grid_.assign(static_cast<std::size_t>(opt_.height),
+                 std::string(static_cast<std::size_t>(opt_.width), ' '));
+    hits_.assign(static_cast<std::size_t>(opt_.height),
+                 std::vector<int>(static_cast<std::size_t>(opt_.width), 0));
+  }
+
+  void plot(double xf, double yf, char glyph) {
+    const int col = std::clamp(
+        static_cast<int>(xf * (opt_.width - 1) + 0.5), 0, opt_.width - 1);
+    const int row = std::clamp(
+        static_cast<int>((1.0 - yf) * (opt_.height - 1) + 0.5), 0,
+        opt_.height - 1);
+    auto& cell = grid_[static_cast<std::size_t>(row)]
+                      [static_cast<std::size_t>(col)];
+    int& hit = hits_[static_cast<std::size_t>(row)]
+                    [static_cast<std::size_t>(col)];
+    ++hit;
+    if (glyph != '\0') {
+      cell = glyph;
+    } else {
+      cell = hit >= 10 ? '#' : hit >= 4 ? '*' : hit >= 2 ? ':' : '.';
+    }
+  }
+
+  std::string render(const Range& xr, const Range& yr, bool log_y) const {
+    std::ostringstream out;
+    if (!opt_.title.empty()) out << opt_.title << '\n';
+    if (!opt_.y_label.empty())
+      out << opt_.y_label << (log_y ? " (log scale)" : "") << '\n';
+    for (int row = 0; row < opt_.height; ++row) {
+      const double frac = 1.0 - static_cast<double>(row) / (opt_.height - 1);
+      const double yv = yr.lo + frac * (yr.hi - yr.lo);
+      const bool tick = row == 0 || row == opt_.height - 1 ||
+                        row == opt_.height / 2;
+      out << std::setw(10) << (tick ? format_tick(yv, log_y) : "") << " |"
+          << grid_[static_cast<std::size_t>(row)] << '\n';
+    }
+    out << std::string(10, ' ') << " +"
+        << std::string(static_cast<std::size_t>(opt_.width), '-') << '\n';
+    out << std::string(10, ' ') << "  " << format_tick(xr.lo, false)
+        << std::string(
+               std::max<std::size_t>(
+                   1, static_cast<std::size_t>(opt_.width) -
+                          format_tick(xr.lo, false).size() -
+                          format_tick(xr.hi, false).size()),
+               ' ')
+        << format_tick(xr.hi, false);
+    if (!opt_.x_label.empty()) out << "   " << opt_.x_label;
+    out << '\n';
+    return out.str();
+  }
+
+ private:
+  ChartOptions opt_;
+  std::vector<std::string> grid_;
+  std::vector<std::vector<int>> hits_;
+};
+
+// Shared implementation for scatter/line/multi-line charts.
+std::string render_points(
+    const std::vector<std::pair<char, std::vector<ChartPoint>>>& layers,
+    const ChartOptions& options, std::string legend) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  const double log_floor = 0.5;  // zero counts sit on the axis floor
+  for (const auto& [glyph, pts] : layers) {
+    for (const auto& p : pts) {
+      xs.push_back(p.x);
+      ys.push_back(options.log_y ? to_log(p.y, log_floor) : p.y);
+    }
+  }
+  if (xs.empty()) return options.title + "\n(no data)\n";
+  const Range xr = find_range(xs);
+  Range yr = find_range(ys);
+  if (!options.log_y) yr.lo = std::min(yr.lo, 0.0);
+
+  Canvas canvas(options);
+  for (const auto& [glyph, pts] : layers) {
+    for (const auto& p : pts) {
+      const double yv = options.log_y ? to_log(p.y, log_floor) : p.y;
+      canvas.plot(xr.clamp01(p.x), yr.clamp01(yv), glyph);
+    }
+  }
+  std::string out = canvas.render(xr, yr, options.log_y);
+  if (!legend.empty()) out += legend + '\n';
+  return out;
+}
+
+std::vector<ChartPoint> series_means(const GroupedStats& series) {
+  std::vector<ChartPoint> pts;
+  for (const auto& [key, acc] : series.groups()) {
+    pts.push_back({static_cast<double>(key), acc.mean()});
+  }
+  return pts;
+}
+
+}  // namespace
+
+std::string render_scatter(const std::vector<ChartPoint>& points,
+                           const ChartOptions& options) {
+  return render_points({{'\0', points}}, options, "");
+}
+
+std::string render_line(const GroupedStats& series,
+                        const ChartOptions& options) {
+  return render_points({{'*', series_means(series)}}, options, "");
+}
+
+std::string render_lines(
+    const std::vector<std::pair<std::string, GroupedStats>>& series,
+    const ChartOptions& options) {
+  static const char kGlyphs[] = {'*', 'o', '+', 'x', '@', '%'};
+  std::vector<std::pair<char, std::vector<ChartPoint>>> layers;
+  std::string legend = "  legend:";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const char glyph = kGlyphs[i % sizeof(kGlyphs)];
+    layers.emplace_back(glyph, series_means(series[i].second));
+    legend += std::string("  ") + glyph + " = " + series[i].first;
+  }
+  return render_points(layers, options, legend);
+}
+
+std::string render_histogram(const Histogram& hist,
+                             const ChartOptions& options) {
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  if (hist.bins().empty()) {
+    out << "(no data)\n";
+    return out.str();
+  }
+  double max_bin = 0;
+  for (const auto& [key, v] : hist.bins()) max_bin = std::max(max_bin, v);
+  PS_ASSERT(max_bin > 0);
+  for (const auto& [key, v] : hist.bins()) {
+    const int bar = static_cast<int>(v / max_bin * options.width + 0.5);
+    out << std::setw(8) << key << " |"
+        << std::string(static_cast<std::size_t>(bar), '#') << ' '
+        << v << '\n';
+  }
+  if (!options.x_label.empty()) out << "  (rows: " << options.x_label << ")\n";
+  return out.str();
+}
+
+}  // namespace pipesched

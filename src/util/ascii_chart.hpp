@@ -1,0 +1,46 @@
+// Terminal renderings of the paper's figures.
+//
+// The bench binaries must stand alone (print the same series the paper
+// plots), so each figure is rendered as an ASCII scatter/line/bar chart in
+// addition to the CSV dump.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pipesched {
+
+/// One (x, y) sample.
+struct ChartPoint {
+  double x = 0;
+  double y = 0;
+};
+
+/// Options shared by the chart renderers.
+struct ChartOptions {
+  int width = 72;        ///< plot-area columns
+  int height = 20;       ///< plot-area rows
+  bool log_y = false;    ///< log10 y axis (zeros clamped to the axis floor)
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Scatter plot; density shown as . : * # for 1, 2-3, 4-9, 10+ hits/cell.
+std::string render_scatter(const std::vector<ChartPoint>& points,
+                           const ChartOptions& options);
+
+/// Line chart of per-group means (key = x, mean = y).
+std::string render_line(const GroupedStats& series, const ChartOptions& options);
+
+/// Several labelled mean-series on one set of axes, distinct glyph each.
+std::string render_lines(
+    const std::vector<std::pair<std::string, GroupedStats>>& series,
+    const ChartOptions& options);
+
+/// Horizontal bar chart of a histogram.
+std::string render_histogram(const Histogram& hist, const ChartOptions& options);
+
+}  // namespace pipesched

@@ -1,0 +1,103 @@
+// Fixed-capacity dynamic bitset used for dependence sets.
+//
+// Basic blocks rarely exceed a few dozen instructions, so dependence and
+// transitive-closure sets fit in one or two 64-bit words; DynBitset keeps
+// the storage inline-friendly (a small std::vector) and provides only the
+// operations the schedulers need, all branch-light.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pipesched {
+
+/// Set of instruction indices in [0, size()).
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  std::size_t size() const { return nbits_; }
+
+  bool test(std::size_t i) const {
+    PS_ASSERT(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i) {
+    PS_ASSERT(i < nbits_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void reset(std::size_t i) {
+    PS_ASSERT(i < nbits_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// *this |= other. Sizes must match.
+  void merge(const DynBitset& other) {
+    PS_ASSERT(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// True when every bit of *this is also set in `super`.
+  bool is_subset_of(const DynBitset& super) const {
+    PS_ASSERT(nbits_ == super.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & ~super.words_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True when no bit is set in both.
+  bool is_disjoint_from(const DynBitset& other) const {
+    PS_ASSERT(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & other.words_[i]) return false;
+    }
+    return true;
+  }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  bool any() const {
+    for (auto w : words_) {
+      if (w) return true;
+    }
+    return false;
+  }
+
+  bool operator==(const DynBitset& other) const {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+
+  /// Invoke fn(index) for every set bit, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w) {
+        const int bit = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<std::size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace pipesched

@@ -1,0 +1,50 @@
+// Error-handling primitives used across the library.
+//
+// PS_CHECK is for user-facing precondition violations (bad configs,
+// malformed inputs): it throws pipesched::Error with a formatted message.
+// PS_ASSERT is for internal invariants: it aborts in all build types so a
+// broken invariant can never silently corrupt a schedule.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pipesched {
+
+/// Exception thrown on violated preconditions and malformed inputs.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "pipesched internal invariant violated: %s at %s:%d\n",
+               expr, file, line);
+  std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace pipesched
+
+#define PS_CHECK(cond, msg)                              \
+  do {                                                   \
+    if (!(cond)) {                                       \
+      std::ostringstream ps_check_oss_;                  \
+      ps_check_oss_ << msg;                              \
+      throw ::pipesched::Error(ps_check_oss_.str());     \
+    }                                                    \
+  } while (0)
+
+#define PS_ASSERT(cond)                                              \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::pipesched::detail::assert_fail(#cond, __FILE__, __LINE__);   \
+    }                                                                \
+  } while (0)

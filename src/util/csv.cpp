@@ -1,0 +1,32 @@
+#include "util/csv.hpp"
+
+#include "util/check.hpp"
+
+namespace pipesched {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  PS_CHECK(out_.good(), "cannot open CSV output file: " << path);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << quote(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::quote(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace pipesched

@@ -1,0 +1,45 @@
+// Minimal CSV writer. Every bench binary mirrors its printed table into a
+// CSV file so results can be post-processed without re-running.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pipesched {
+
+/// Row-oriented CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws pipesched::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write a header or data row.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: stringify each cell with operator<<.
+  template <typename... Ts>
+  void row_of(const Ts&... cells) {
+    std::vector<std::string> out;
+    (out.push_back(to_cell(cells)), ...);
+    row(out);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream oss;
+    oss << v;
+    return oss.str();
+  }
+
+  static std::string quote(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace pipesched

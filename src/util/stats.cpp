@@ -1,0 +1,54 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pipesched {
+
+void Accumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Accumulator::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Histogram::add(long key, double weight) {
+  bins_[key] += weight;
+  total_ += weight;
+}
+
+long Histogram::min_key() const {
+  PS_ASSERT(!bins_.empty());
+  return bins_.begin()->first;
+}
+
+long Histogram::max_key() const {
+  PS_ASSERT(!bins_.empty());
+  return bins_.rbegin()->first;
+}
+
+void GroupedStats::add(long key, double value) { groups_[key].add(value); }
+
+double percentile(std::vector<double> values, double p) {
+  PS_CHECK(!values.empty(), "percentile of empty sample");
+  PS_CHECK(p >= 0.0 && p <= 100.0, "percentile p out of range: " << p);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace pipesched

@@ -1,0 +1,62 @@
+// Streaming statistics accumulators for the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace pipesched {
+
+/// Single-pass accumulator: count, mean (Welford), min, max, stddev.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Integer-keyed histogram (e.g. block-size distributions).
+class Histogram {
+ public:
+  void add(long key, double weight = 1.0);
+
+  const std::map<long, double>& bins() const { return bins_; }
+  double total() const { return total_; }
+  long min_key() const;
+  long max_key() const;
+
+ private:
+  std::map<long, double> bins_;
+  double total_ = 0.0;
+};
+
+/// Values grouped by integer key, each group an Accumulator
+/// (e.g. "average NOPs per block size").
+class GroupedStats {
+ public:
+  void add(long key, double value);
+  const std::map<long, Accumulator>& groups() const { return groups_; }
+
+ private:
+  std::map<long, Accumulator> groups_;
+};
+
+/// Exact percentile over a retained sample (used for figure summaries).
+double percentile(std::vector<double> values, double p);
+
+}  // namespace pipesched

@@ -1,0 +1,80 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.hpp"
+
+namespace pipesched {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  PS_ASSERT(task);
+  {
+    std::unique_lock lock(mutex_);
+    PS_ASSERT(!stopping_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for_each(ThreadPool& pool, std::size_t count,
+                       const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  // Chunk so each worker gets several chunks (load balance) without
+  // per-index queue overhead.
+  const std::size_t chunks = std::min(count, pool.thread_count() * 8);
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  for (std::size_t begin = 0; begin < count; begin += chunk_size) {
+    const std::size_t end = std::min(begin + chunk_size, count);
+    pool.submit([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace pipesched

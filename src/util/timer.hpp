@@ -1,0 +1,29 @@
+// Monotonic wall-clock timer for benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace pipesched {
+
+/// Stopwatch over std::chrono::steady_clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed since construction or the last reset().
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pipesched

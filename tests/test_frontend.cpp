@@ -1,0 +1,118 @@
+// Tests for the mini language front end: parser, AST, and the Section 5.2
+// load/store code-generation rules.
+#include <gtest/gtest.h>
+
+#include "frontend/codegen.hpp"
+#include "frontend/parser.hpp"
+#include "ir/interp.hpp"
+#include "util/check.hpp"
+
+namespace pipesched {
+namespace {
+
+TEST(SourceParser, ParsesFigure3Program) {
+  const SourceProgram prog = parse_source("{ b = 15; a = b * a; }");
+  ASSERT_EQ(prog.statements.size(), 2u);
+  EXPECT_EQ(prog.statements[0].target, "b");
+  EXPECT_EQ(prog.statements[0].value->kind, Expr::Kind::Number);
+  EXPECT_EQ(prog.statements[1].target, "a");
+  EXPECT_EQ(prog.statements[1].value->kind, Expr::Kind::Mul);
+}
+
+TEST(SourceParser, PrecedenceAndParentheses) {
+  const SourceProgram prog = parse_source("x = a + b * c; y = (a + b) * c;");
+  const Expr& sum = *prog.statements[0].value;
+  EXPECT_EQ(sum.kind, Expr::Kind::Add);
+  EXPECT_EQ(sum.rhs->kind, Expr::Kind::Mul);
+  const Expr& prod = *prog.statements[1].value;
+  EXPECT_EQ(prod.kind, Expr::Kind::Mul);
+  EXPECT_EQ(prod.lhs->kind, Expr::Kind::Add);
+}
+
+TEST(SourceParser, UnaryMinusAndComments) {
+  const SourceProgram prog = parse_source(
+      "// negate a\n"
+      "x = -a; y = --a;\n");
+  EXPECT_EQ(prog.statements[0].value->kind, Expr::Kind::Negate);
+  EXPECT_EQ(prog.statements[1].value->kind, Expr::Kind::Negate);
+  EXPECT_EQ(prog.statements[1].value->lhs->kind, Expr::Kind::Negate);
+}
+
+TEST(SourceParser, DiagnosesSyntaxErrors) {
+  EXPECT_THROW(parse_source("x = ;"), Error);
+  EXPECT_THROW(parse_source("x + 1;"), Error);
+  EXPECT_THROW(parse_source("x = 1"), Error);
+  EXPECT_THROW(parse_source("x = (1;"), Error);
+}
+
+TEST(SourceParser, RoundTripsThroughToString) {
+  const SourceProgram prog =
+      parse_source("x = a + b * c; y = -(x) / 3; z = y - x;");
+  const SourceProgram again = parse_source(prog.to_string());
+  EXPECT_EQ(again.to_string(), prog.to_string());
+}
+
+TEST(Codegen, ReproducesFigure3Tuples) {
+  // { b = 15; a = b * a; } must lower exactly to the paper's Figure 3.
+  const BasicBlock block =
+      generate_tuples(parse_source("{ b = 15; a = b * a; }"));
+  ASSERT_EQ(block.size(), 5u);
+  EXPECT_EQ(block.tuple(0).op, Opcode::Const);   // 1: Const "15"
+  EXPECT_EQ(block.tuple(0).a.imm, 15);
+  EXPECT_EQ(block.tuple(1).op, Opcode::Store);   // 2: Store #b, 1
+  EXPECT_EQ(block.var_name(block.tuple(1).a.var), "b");
+  EXPECT_EQ(block.tuple(1).b.ref, 0);
+  EXPECT_EQ(block.tuple(2).op, Opcode::Load);    // 3: Load #a
+  EXPECT_EQ(block.var_name(block.tuple(2).a.var), "a");
+  EXPECT_EQ(block.tuple(3).op, Opcode::Mul);     // 4: Mul 1, 3
+  EXPECT_EQ(block.tuple(3).a.ref, 0);
+  EXPECT_EQ(block.tuple(3).b.ref, 2);
+  EXPECT_EQ(block.tuple(4).op, Opcode::Store);   // 5: Store #a, 4
+  EXPECT_EQ(block.tuple(4).b.ref, 3);
+}
+
+TEST(Codegen, FirstReferenceLoadsOnlyOnce) {
+  // 'a' is read three times but loaded once (Section 5.2's rule plus
+  // current-value tracking).
+  const BasicBlock block =
+      generate_tuples(parse_source("x = a + a; y = a;"));
+  int loads = 0;
+  for (const Tuple& t : block.tuples()) loads += t.op == Opcode::Load;
+  EXPECT_EQ(loads, 1);
+}
+
+TEST(Codegen, AssignmentForwardsWithoutReload) {
+  // After 'a = b + c', reading 'a' reuses the Add result, not a Load.
+  const BasicBlock block =
+      generate_tuples(parse_source("a = b + c; d = a * 2;"));
+  for (const Tuple& t : block.tuples()) {
+    if (t.op == Opcode::Load) {
+      EXPECT_NE(block.var_name(t.a.var), "a");
+    }
+  }
+}
+
+TEST(Codegen, EveryAssignmentStores) {
+  const BasicBlock block =
+      generate_tuples(parse_source("a = 1; a = 2; a = 3;"));
+  int stores = 0;
+  for (const Tuple& t : block.tuples()) stores += t.op == Opcode::Store;
+  EXPECT_EQ(stores, 3);
+}
+
+TEST(Codegen, GeneratedCodeComputesTheProgram) {
+  // End-to-end semantics: run the tuple code and check the math.
+  // x = (a+b)*(a-b); y = x/2 - a;   with a=9, b=5:
+  //   x = 14*4 = 56; y = 28-9 = 19.
+  const BasicBlock block = generate_tuples(
+      parse_source("x = (a + b) * (a - b); y = x / 2 - a;"));
+  VarEnv initial;
+  initial[block.find_var("a")] = 9;
+  initial[block.find_var("b")] = 5;
+  const ExecResult result = interpret(block, initial);
+  EXPECT_EQ(result.final_vars.at(block.find_var("x")), 56);
+  EXPECT_EQ(result.final_vars.at(block.find_var("y")), 19);
+}
+
+}  // namespace
+}  // namespace pipesched

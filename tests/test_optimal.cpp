@@ -1,0 +1,254 @@
+// Correctness of the branch-and-bound scheduler (paper Section 4.2.3):
+// with the curtail point disabled it must find exactly the exhaustive
+// optimum, under every combination of pruning rules, machines and random
+// blocks — the pruning rules are only allowed to cut *provably equivalent
+// or worse* schedules.
+#include <gtest/gtest.h>
+
+#include "ir/dag.hpp"
+#include "sched/exhaustive_scheduler.hpp"
+#include "sched/greedy_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/optimal_scheduler.hpp"
+#include "synth/generator.hpp"
+
+namespace pipesched {
+namespace {
+
+SearchConfig unlimited() {
+  SearchConfig c;
+  c.curtail_lambda = 0;
+  return c;
+}
+
+struct PropertyCase {
+  std::string machine;
+  std::uint64_t seed;
+};
+
+std::string case_name(const testing::TestParamInfo<PropertyCase>& info) {
+  std::string name =
+      info.param.machine + "_seed" + std::to_string(info.param.seed);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class OptimalVsExhaustive : public testing::TestWithParam<PropertyCase> {};
+
+TEST_P(OptimalVsExhaustive, MatchesGroundTruthOnSmallBlocks) {
+  const PropertyCase& param = GetParam();
+  const Machine machine = Machine::preset(param.machine);
+
+  // Small statement counts keep blocks <= ~12 instructions, where the
+  // exhaustive search is still tractable.
+  for (int statements = 2; statements <= 5; ++statements) {
+    GeneratorParams params;
+    params.statements = statements;
+    params.variables = 3;
+    params.constants = 2;
+    params.seed = param.seed * 1000 + static_cast<std::uint64_t>(statements);
+    const BasicBlock block = generate_block(params);
+    if (block.empty() || block.size() > 12) continue;
+    const DepGraph dag(block);
+
+    const ExhaustiveResult truth = exhaustive_schedule(machine, dag);
+    ASSERT_TRUE(truth.completed);
+    const int optimum = truth.best.total_nops();
+
+    const OptimalResult result = optimal_schedule(machine, dag, unlimited());
+    EXPECT_TRUE(result.stats.completed);
+    EXPECT_EQ(result.best.total_nops(), optimum)
+        << "machine=" << param.machine << " seed=" << params.seed
+        << " statements=" << statements << "\n"
+        << block.to_string();
+    EXPECT_TRUE(dag.is_legal_order(result.best.order));
+  }
+}
+
+TEST_P(OptimalVsExhaustive, EveryPruningComboPreservesOptimality) {
+  const PropertyCase& param = GetParam();
+  const Machine machine = Machine::preset(param.machine);
+
+  GeneratorParams params;
+  params.statements = 4;
+  params.variables = 3;
+  params.constants = 2;
+  params.seed = param.seed;
+  const BasicBlock block = generate_block(params);
+  if (block.empty() || block.size() > 12) GTEST_SKIP();
+  const DepGraph dag(block);
+
+  const int optimum =
+      exhaustive_schedule(machine, dag).best.total_nops();
+
+  for (int mask = 0; mask < 64; ++mask) {
+    SearchConfig config = unlimited();
+    config.alpha_beta = mask & 1;
+    config.equivalence_prune = mask & 2;
+    config.strong_equivalence = mask & 4;
+    config.window_prune = mask & 8;
+    config.lower_bound_prune = mask & 16;
+    config.seed_with_list_schedule = mask & 32;
+    const OptimalResult result = optimal_schedule(machine, dag, config);
+    EXPECT_EQ(result.best.total_nops(), optimum)
+        << "machine=" << param.machine << " seed=" << param.seed
+        << " pruning mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OptimalVsExhaustive,
+    testing::ValuesIn([] {
+      std::vector<PropertyCase> cases;
+      for (const std::string& machine : Machine::preset_names()) {
+        for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+          cases.push_back({machine, seed});
+        }
+      }
+      return cases;
+    }()),
+    case_name);
+
+TEST(Optimal, NeverWorseThanHeuristics) {
+  // Property over larger random blocks: optimal <= greedy and
+  // optimal <= list, and all three are legal orders.
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    GeneratorParams params;
+    params.statements = 8;
+    params.variables = 5;
+    params.constants = 3;
+    params.seed = seed;
+    const BasicBlock block = generate_block(params);
+    if (block.empty()) continue;
+    const DepGraph dag(block);
+    const Machine machine = Machine::paper_simulation();
+
+    const Schedule list = list_schedule(machine, dag);
+    const Schedule greedy = greedy_schedule(machine, dag);
+    SearchConfig config;
+    config.curtail_lambda = 200000;
+    const OptimalResult best = optimal_schedule(machine, dag, config);
+
+    EXPECT_LE(best.best.total_nops(), list.total_nops()) << "seed " << seed;
+    EXPECT_LE(best.best.total_nops(), greedy.total_nops()) << "seed " << seed;
+    EXPECT_TRUE(dag.is_legal_order(best.best.order));
+  }
+}
+
+TEST(Optimal, CurtailPointBoundsWork) {
+  // A lambda of 1 stops after a single placement attempt; the result must
+  // still be the (legal) seed schedule.
+  GeneratorParams params;
+  params.statements = 10;
+  params.variables = 4;
+  params.constants = 2;
+  params.seed = 7;
+  const BasicBlock block = generate_block(params);
+  const DepGraph dag(block);
+  const Machine machine = Machine::paper_simulation();
+
+  SearchConfig config;
+  config.curtail_lambda = 1;
+  const OptimalResult result = optimal_schedule(machine, dag, config);
+  EXPECT_LE(result.stats.omega_calls, 1u);
+  EXPECT_TRUE(dag.is_legal_order(result.best.order));
+  EXPECT_EQ(result.best.total_nops(), result.stats.initial_nops);
+}
+
+TEST(Optimal, CurtailedSearchReportsTruncation) {
+  // Find a block where lambda=2 genuinely truncates (initial != optimal).
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 60 && !found; ++seed) {
+    GeneratorParams params;
+    params.statements = 9;
+    params.variables = 4;
+    params.constants = 2;
+    params.seed = seed;
+    const BasicBlock block = generate_block(params);
+    if (block.empty()) continue;
+    const DepGraph dag(block);
+    const Machine machine = Machine::paper_simulation();
+
+    SearchConfig full;
+    full.curtail_lambda = 0;
+    const int optimum =
+        optimal_schedule(machine, dag, full).best.total_nops();
+    const int initial = list_schedule(machine, dag).total_nops();
+    if (initial == optimum) continue;
+
+    SearchConfig tiny;
+    tiny.curtail_lambda = 2;
+    const OptimalResult truncated = optimal_schedule(machine, dag, tiny);
+    EXPECT_FALSE(truncated.stats.completed);
+    EXPECT_GE(truncated.best.total_nops(), optimum);
+    found = true;
+  }
+  EXPECT_TRUE(found) << "no block with improvable seed schedule found";
+}
+
+TEST(Optimal, ZeroNopSeedShortCircuits) {
+  // A block whose list schedule already needs no NOPs must return
+  // immediately with zero search nodes.
+  BasicBlock block;
+  for (int i = 0; i < 6; ++i) {
+    block.append(Opcode::Const, Operand::of_imm(i));
+  }
+  const DepGraph dag(block);
+  const OptimalResult result =
+      optimal_schedule(Machine::paper_simulation(), dag, SearchConfig{});
+  EXPECT_EQ(result.best.total_nops(), 0);
+  EXPECT_EQ(result.stats.omega_calls, 0u);
+  EXPECT_TRUE(result.stats.completed);
+}
+
+TEST(Optimal, StatsAreInternallyConsistent) {
+  GeneratorParams params;
+  params.statements = 7;
+  params.variables = 4;
+  params.constants = 2;
+  params.seed = 3;
+  const BasicBlock block = generate_block(params);
+  const DepGraph dag(block);
+  SearchConfig config;
+  config.curtail_lambda = 100000;
+  const OptimalResult result =
+      optimal_schedule(Machine::paper_simulation(), dag, config);
+  EXPECT_LE(result.stats.best_nops, result.stats.initial_nops);
+  EXPECT_EQ(result.stats.best_nops, result.best.total_nops());
+  EXPECT_GE(result.stats.omega_calls, result.stats.schedules_examined);
+}
+
+TEST(Optimal, FindsKnownOptimalReordering) {
+  // Hand-checked case on risc-classic (loader latency 4, alu latency 1):
+  // two independent (load -> neg -> store) chains. The naive order
+  //   La Na Lb Nb Sa Sb
+  // stalls 3 cycles before each Neg (total 6 NOPs); interleaving
+  //   La Lb Na Nb Sa Sb
+  // hides all but 2 of the load-latency cycles.
+  const Machine machine = Machine::risc_classic();
+  BasicBlock block;
+  const VarId a = block.var_id("a");
+  const VarId b = block.var_id("b");
+  const TupleIndex la = block.append(Opcode::Load, Operand::of_var(a));
+  const TupleIndex na = block.append(Opcode::Neg, Operand::of_ref(la));
+  const TupleIndex lb = block.append(Opcode::Load, Operand::of_var(b));
+  const TupleIndex nb = block.append(Opcode::Neg, Operand::of_ref(lb));
+  block.append(Opcode::Store, Operand::of_var(a), Operand::of_ref(na));
+  block.append(Opcode::Store, Operand::of_var(b), Operand::of_ref(nb));
+  const DepGraph dag(block);
+
+  const Schedule naive = evaluate_order(
+      machine, dag, {la, na, lb, nb, static_cast<TupleIndex>(4),
+                     static_cast<TupleIndex>(5)});
+  SearchConfig config;
+  config.curtail_lambda = 0;
+  const OptimalResult best = optimal_schedule(machine, dag, config);
+  EXPECT_LT(best.best.total_nops(), naive.total_nops());
+  EXPECT_EQ(best.best.total_nops(),
+            exhaustive_schedule(machine, dag).best.total_nops());
+}
+
+}  // namespace
+}  // namespace pipesched

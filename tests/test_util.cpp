@@ -1,0 +1,213 @@
+// Unit tests for the utility layer.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/ascii_chart.hpp"
+#include "util/bitset.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pipesched {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextInCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, WeightedRespectsZeroWeights) {
+  Rng rng(3);
+  const std::vector<double> weights = {0.0, 1.0, 0.0, 2.0};
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t pick = rng.next_weighted(weights);
+    EXPECT_TRUE(pick == 1 || pick == 3);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng base(99);
+  Rng s1 = base.split(1);
+  Rng s2 = base.split(2);
+  Rng s1_again = Rng(99).split(1);
+  EXPECT_EQ(s1.next_u64(), s1_again.next_u64());
+  EXPECT_NE(s1.next_u64(), s2.next_u64());
+}
+
+TEST(Bitset, SetTestResetCount) {
+  DynBitset bits(130);
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_EQ(bits.count(), 3u);
+  bits.reset(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(Bitset, SubsetAndDisjoint) {
+  DynBitset a(100);
+  DynBitset b(100);
+  a.set(3);
+  a.set(70);
+  b.set(3);
+  b.set(70);
+  b.set(99);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  DynBitset c(100);
+  c.set(42);
+  EXPECT_TRUE(a.is_disjoint_from(c));
+  c.set(70);
+  EXPECT_FALSE(a.is_disjoint_from(c));
+}
+
+TEST(Bitset, ForEachVisitsAscending) {
+  DynBitset bits(200);
+  const std::vector<std::size_t> expected = {5, 63, 64, 150, 199};
+  for (auto i : expected) bits.set(i);
+  std::vector<std::size_t> seen;
+  bits.for_each([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Stats, AccumulatorMoments) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> values = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(values, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 25), 2.0);
+}
+
+TEST(Stats, HistogramAccumulates) {
+  Histogram h;
+  h.add(3);
+  h.add(3);
+  h.add(10);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+  EXPECT_EQ(h.min_key(), 3);
+  EXPECT_EQ(h.max_key(), 10);
+  EXPECT_DOUBLE_EQ(h.bins().at(3), 2.0);
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1307674368000ull), "1,307,674,368,000");
+}
+
+TEST(Strings, TrimAndSplit) {
+  EXPECT_EQ(trim("  a b \t\n"), "a b");
+  EXPECT_EQ(split("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(split("a,b,,c", ',')[2], "");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("abcdef", 3), "abc");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  const std::string path = "test_util_out.csv";
+  {
+    CsvWriter csv(path);
+    csv.row({"a", "b,c", "d\"e"});
+    csv.row_of(1, 2.5, "x");
+  }
+  std::ifstream in(path);
+  std::string line1;
+  std::string line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(line2, "1,2.5,x");
+  std::filesystem::remove(path);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  parallel_for_each(pool, hits.size(),
+                    [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    parallel_for_each(pool, 50, [&](std::size_t) { ++counter; });
+  }
+  EXPECT_EQ(counter.load(), 150);
+}
+
+TEST(AsciiChart, RendersWithoutCrashing) {
+  std::vector<ChartPoint> points;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({static_cast<double>(i), static_cast<double>(i * i)});
+  }
+  ChartOptions options;
+  options.title = "test";
+  options.log_y = true;
+  const std::string chart = render_scatter(points, options);
+  EXPECT_NE(chart.find("test"), std::string::npos);
+  EXPECT_GT(chart.size(), 100u);
+
+  Histogram h;
+  h.add(1, 5);
+  h.add(2, 10);
+  const std::string bars = render_histogram(h, options);
+  EXPECT_NE(bars.find("#"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pipesched

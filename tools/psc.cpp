@@ -1,0 +1,315 @@
+// psc — the pipesched compiler driver.
+//
+// Compiles the assignment-statement language (with if/while control flow)
+// or raw tuple blocks down to scheduled, register-allocated assembly for a
+// configurable multi-pipeline machine, exposing every knob the library
+// offers. Run `psc --help` for usage.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/compiler.hpp"
+#include "core/program_compiler.hpp"
+#include "core/superblock.hpp"
+#include "asmout/emitter.hpp"
+#include "frontend/codegen.hpp"
+#include "frontend/opt/passes.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/program_codegen.hpp"
+#include "ir/block_parser.hpp"
+#include "ir/program_parser.hpp"
+#include "ir/dag.hpp"
+#include "machine/machine_parser.hpp"
+#include "regalloc/regalloc.hpp"
+#include "sched/split_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace pipesched;
+
+constexpr const char* kUsage = R"(psc - optimal pipeline scheduling compiler
+
+usage: psc [options] [<source-file>]
+  (reads stdin when no file is given)
+
+input:
+  --tuples              input is tuple-form text instead of source: one
+                        basic block, or a whole CFG when the file starts
+                        with the "program" keyword
+machine:
+  --machine <preset>    paper-simulation (default), paper-example,
+                        risc-classic, single-issue-deep, unpipelined-units
+  --machine-file <path> load a machine description file
+scheduling:
+  --scheduler <name>    original | list | greedy | optimal (default) |
+                        exhaustive
+  --lambda <N>          curtail point (0 = search to exhaustion;
+                        default 50000)
+  --split <W>           schedule straight-line blocks with the Section 5.3
+                        window splitter instead of the global search
+  --registers <N>       register-limited compilation: spill + pressure-
+                        constrained search so the code fits N registers
+back end:
+  --mechanism <name>    nop (default) | interlock | wait | tera | carp
+  --boundary <name>     drain (default) | chain   (control-flow programs)
+  --superblock          merge linear block chains before compiling
+  --no-opt              skip the optimizer passes
+  --reassociate         balance Add/Mul trees (shortens critical paths)
+output:
+  --dump-tuples         print the (optimized) tuple form
+  --dump-dag            print the dependence DAG as graphviz dot
+  --dump-cfg            print the control-flow graph
+  --trace               print the pipeline occupancy trace
+  --stats               print search statistics
+  --help
+)";
+
+struct Args {
+  std::string input_path;
+  bool tuples = false;
+  std::string machine_preset = "paper-simulation";
+  std::string machine_file;
+  SchedulerKind scheduler = SchedulerKind::Optimal;
+  std::uint64_t lambda = 50000;
+  int split_window = 0;
+  int register_limit = 0;
+  DelayMechanism mechanism = DelayMechanism::NopPadding;
+  BoundaryMode boundary = BoundaryMode::Drain;
+  bool superblock = false;
+  bool optimize = true;
+  bool reassociate = false;
+  bool dump_tuples = false;
+  bool dump_dag = false;
+  bool dump_cfg = false;
+  bool trace = false;
+  bool stats = false;
+};
+
+std::string read_input(const std::string& path) {
+  std::ostringstream oss;
+  if (path.empty()) {
+    oss << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path);
+    PS_CHECK(in.good(), "cannot open " << path);
+    oss << in.rdbuf();
+  }
+  return oss.str();
+}
+
+SchedulerKind parse_scheduler(const std::string& name) {
+  if (name == "original") return SchedulerKind::Original;
+  if (name == "list") return SchedulerKind::List;
+  if (name == "greedy") return SchedulerKind::Greedy;
+  if (name == "optimal") return SchedulerKind::Optimal;
+  if (name == "exhaustive") return SchedulerKind::Exhaustive;
+  throw Error("unknown scheduler: " + name);
+}
+
+DelayMechanism parse_mechanism(const std::string& name) {
+  if (name == "nop") return DelayMechanism::NopPadding;
+  if (name == "interlock") return DelayMechanism::ImplicitInterlock;
+  if (name == "wait") return DelayMechanism::ExplicitInterlock;
+  if (name == "tera") return DelayMechanism::TeraCount;
+  if (name == "carp") return DelayMechanism::CarpMask;
+  throw Error("unknown delay mechanism: " + name);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      PS_CHECK(i + 1 < argc, arg << " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else if (arg == "--tuples") {
+      args.tuples = true;
+    } else if (arg == "--machine") {
+      args.machine_preset = next();
+    } else if (arg == "--machine-file") {
+      args.machine_file = next();
+    } else if (arg == "--scheduler") {
+      args.scheduler = parse_scheduler(next());
+    } else if (arg == "--lambda") {
+      args.lambda = std::stoull(next());
+    } else if (arg == "--split") {
+      args.split_window = std::stoi(next());
+    } else if (arg == "--registers") {
+      args.register_limit = std::stoi(next());
+    } else if (arg == "--mechanism") {
+      args.mechanism = parse_mechanism(next());
+    } else if (arg == "--boundary") {
+      const std::string mode = next();
+      PS_CHECK(mode == "drain" || mode == "chain",
+               "unknown boundary mode: " << mode);
+      args.boundary =
+          mode == "chain" ? BoundaryMode::Chain : BoundaryMode::Drain;
+    } else if (arg == "--superblock") {
+      args.superblock = true;
+    } else if (arg == "--no-opt") {
+      args.optimize = false;
+    } else if (arg == "--reassociate") {
+      args.reassociate = true;
+    } else if (arg == "--dump-tuples") {
+      args.dump_tuples = true;
+    } else if (arg == "--dump-dag") {
+      args.dump_dag = true;
+    } else if (arg == "--dump-cfg") {
+      args.dump_cfg = true;
+    } else if (arg == "--trace") {
+      args.trace = true;
+    } else if (arg == "--stats") {
+      args.stats = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw Error("unknown option: " + arg + " (see --help)");
+    } else {
+      PS_CHECK(args.input_path.empty(), "multiple input files given");
+      args.input_path = arg;
+    }
+  }
+  return args;
+}
+
+void print_stats(const SearchStats& stats) {
+  std::cerr << "; search: " << stats.omega_calls << " placements, "
+            << stats.schedules_examined << " complete schedules, "
+            << (stats.completed ? "proven optimal" : "curtailed")
+            << ", initial NOPs " << stats.initial_nops << ", final NOPs "
+            << stats.best_nops << ", "
+            << static_cast<long>(stats.seconds * 1e6) << "us\n";
+}
+
+int compile_one_block(BasicBlock block, const Machine& machine,
+                      const Args& args) {
+  CompileOptions options;
+  options.machine = machine;
+  options.scheduler = args.scheduler;
+  options.search.curtail_lambda = args.lambda;
+  options.optimize = args.optimize;
+  options.reassociate = args.reassociate;
+  options.emit.mechanism = args.mechanism;
+
+  if (args.register_limit > 0) {
+    options.registers = args.register_limit;
+    const RegisterLimitedResult result =
+        compile_with_register_limit(block, options);
+    if (args.dump_tuples) std::cerr << result.compiled.block.to_string();
+    if (args.stats) {
+      print_stats(result.compiled.stats);
+      std::cerr << "; spilled values: " << result.values_spilled << "\n";
+    }
+    std::cout << result.compiled.assembly;
+    return 0;
+  }
+
+  if (args.split_window > 0) {
+    const BasicBlock prepared =
+        args.optimize ? run_standard_pipeline(block) : block;
+    const DepGraph dag(prepared);
+    SplitConfig config;
+    config.window_size = args.split_window;
+    config.search.curtail_lambda = args.lambda;
+    const SplitResult result = split_schedule(machine, dag, config);
+    const Allocation allocation =
+        linear_scan(prepared, result.schedule.order, options.registers);
+    if (args.dump_tuples) std::cerr << prepared.to_string();
+    if (args.dump_dag) std::cerr << dag.to_dot();
+    if (args.stats) print_stats(result.stats);
+    std::cout << emit_assembly(prepared, machine, result.schedule,
+                               allocation, options.emit);
+    return 0;
+  }
+
+  const CompileResult result = compile_block(block, options);
+  if (args.dump_tuples) std::cerr << result.block.to_string();
+  if (args.dump_dag) std::cerr << DepGraph(result.block).to_dot();
+  if (args.stats) print_stats(result.stats);
+  if (args.trace) {
+    const DepGraph dag(result.block);
+    const SimResult sim =
+        simulate_interlocked(machine, dag, result.schedule.order);
+    std::cerr << render_pipeline_trace(machine, result.block, sim);
+  }
+  std::cout << result.assembly;
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  const Machine machine =
+      args.machine_file.empty()
+          ? Machine::preset(args.machine_preset)
+          : parse_machine(read_input(args.machine_file));
+
+  const std::string input = read_input(args.input_path);
+
+  Program parsed_program;
+  bool have_program = false;
+  if (args.tuples) {
+    // A leading "program" keyword selects the whole-CFG tuple format.
+    const std::string head = trim(input).substr(0, 7);
+    if (head == "program") {
+      parsed_program = parse_program_text(input);
+      have_program = true;
+    } else {
+      return compile_one_block(parse_block(input), machine, args);
+    }
+  }
+
+  if (!have_program) {
+    const SourceProgram source = parse_source(input);
+    if (source.is_straight_line()) {
+      return compile_one_block(generate_tuples(source), machine, args);
+    }
+    parsed_program = generate_program(source);
+  }
+
+  // Control flow: the whole-program pipeline.
+  Program program = std::move(parsed_program);
+  if (args.superblock) {
+    SuperblockResult merged = merge_linear_chains(program);
+    if (args.stats) {
+      std::cerr << "; superblock: " << merged.merges << " edges merged, "
+                << merged.program.size() << " blocks remain\n";
+    }
+    program = std::move(merged.program);
+  }
+  if (args.dump_cfg) std::cerr << program.to_string();
+  PS_CHECK(args.split_window == 0 && args.register_limit == 0,
+           "--split/--registers currently apply to straight-line input");
+  ProgramCompileOptions options;
+  options.block.machine = machine;
+  options.block.scheduler = args.scheduler;
+  options.block.search.curtail_lambda = args.lambda;
+  options.block.optimize = args.optimize;
+  options.block.reassociate = args.reassociate;
+  options.block.emit.mechanism = args.mechanism;
+  options.boundary = args.boundary;
+  const ProgramCompileResult result = compile_program(program, options);
+  if (args.stats) {
+    std::cerr << "; program: " << result.blocks.size() << " blocks, "
+              << result.total_instructions << " instructions, "
+              << result.total_nops << " NOPs\n";
+  }
+  std::cout << result.assembly;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const pipesched::Error& e) {
+    std::cerr << "psc: error: " << e.what() << "\n";
+    return 1;
+  }
+}
