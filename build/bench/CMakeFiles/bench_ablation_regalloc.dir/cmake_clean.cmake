@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_regalloc.dir/bench_ablation_regalloc.cpp.o"
+  "CMakeFiles/bench_ablation_regalloc.dir/bench_ablation_regalloc.cpp.o.d"
+  "bench_ablation_regalloc"
+  "bench_ablation_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multipipe.dir/bench_multipipe.cpp.o"
+  "CMakeFiles/bench_multipipe.dir/bench_multipipe.cpp.o.d"
+  "bench_multipipe"
+  "bench_multipipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multipipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

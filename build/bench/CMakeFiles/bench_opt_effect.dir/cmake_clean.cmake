@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_opt_effect.dir/bench_opt_effect.cpp.o"
+  "CMakeFiles/bench_opt_effect.dir/bench_opt_effect.cpp.o.d"
+  "bench_opt_effect"
+  "bench_opt_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opt_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q_cost.dir/bench_q_cost.cpp.o"
+  "CMakeFiles/bench_q_cost.dir/bench_q_cost.cpp.o.d"
+  "bench_q_cost"
+  "bench_q_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reassoc.dir/bench_reassoc.cpp.o"
+  "CMakeFiles/bench_reassoc.dir/bench_reassoc.cpp.o.d"
+  "bench_reassoc"
+  "bench_reassoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reassoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/ps_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmout/CMakeFiles/ps_asmout.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/ps_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ps_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ps_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ps_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ps_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

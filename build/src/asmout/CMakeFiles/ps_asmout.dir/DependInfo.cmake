@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asmout/emitter.cpp" "src/asmout/CMakeFiles/ps_asmout.dir/emitter.cpp.o" "gcc" "src/asmout/CMakeFiles/ps_asmout.dir/emitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ps_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ps_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ps_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/ps_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

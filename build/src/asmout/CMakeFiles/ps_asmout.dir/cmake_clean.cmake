@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_asmout.dir/emitter.cpp.o"
+  "CMakeFiles/ps_asmout.dir/emitter.cpp.o.d"
+  "libps_asmout.a"
+  "libps_asmout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_asmout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

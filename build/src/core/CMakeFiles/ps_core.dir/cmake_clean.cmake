@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_core.dir/compiler.cpp.o"
+  "CMakeFiles/ps_core.dir/compiler.cpp.o.d"
+  "CMakeFiles/ps_core.dir/corpus_runner.cpp.o"
+  "CMakeFiles/ps_core.dir/corpus_runner.cpp.o.d"
+  "CMakeFiles/ps_core.dir/program_compiler.cpp.o"
+  "CMakeFiles/ps_core.dir/program_compiler.cpp.o.d"
+  "CMakeFiles/ps_core.dir/superblock.cpp.o"
+  "CMakeFiles/ps_core.dir/superblock.cpp.o.d"
+  "libps_core.a"
+  "libps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

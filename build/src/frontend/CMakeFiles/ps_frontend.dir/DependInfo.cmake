@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/ast.cpp" "src/frontend/CMakeFiles/ps_frontend.dir/ast.cpp.o" "gcc" "src/frontend/CMakeFiles/ps_frontend.dir/ast.cpp.o.d"
+  "/root/repo/src/frontend/codegen.cpp" "src/frontend/CMakeFiles/ps_frontend.dir/codegen.cpp.o" "gcc" "src/frontend/CMakeFiles/ps_frontend.dir/codegen.cpp.o.d"
+  "/root/repo/src/frontend/opt/passes.cpp" "src/frontend/CMakeFiles/ps_frontend.dir/opt/passes.cpp.o" "gcc" "src/frontend/CMakeFiles/ps_frontend.dir/opt/passes.cpp.o.d"
+  "/root/repo/src/frontend/opt/rewrite.cpp" "src/frontend/CMakeFiles/ps_frontend.dir/opt/rewrite.cpp.o" "gcc" "src/frontend/CMakeFiles/ps_frontend.dir/opt/rewrite.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/frontend/CMakeFiles/ps_frontend.dir/parser.cpp.o" "gcc" "src/frontend/CMakeFiles/ps_frontend.dir/parser.cpp.o.d"
+  "/root/repo/src/frontend/program_codegen.cpp" "src/frontend/CMakeFiles/ps_frontend.dir/program_codegen.cpp.o" "gcc" "src/frontend/CMakeFiles/ps_frontend.dir/program_codegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ps_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_frontend.dir/ast.cpp.o"
+  "CMakeFiles/ps_frontend.dir/ast.cpp.o.d"
+  "CMakeFiles/ps_frontend.dir/codegen.cpp.o"
+  "CMakeFiles/ps_frontend.dir/codegen.cpp.o.d"
+  "CMakeFiles/ps_frontend.dir/opt/passes.cpp.o"
+  "CMakeFiles/ps_frontend.dir/opt/passes.cpp.o.d"
+  "CMakeFiles/ps_frontend.dir/opt/rewrite.cpp.o"
+  "CMakeFiles/ps_frontend.dir/opt/rewrite.cpp.o.d"
+  "CMakeFiles/ps_frontend.dir/parser.cpp.o"
+  "CMakeFiles/ps_frontend.dir/parser.cpp.o.d"
+  "CMakeFiles/ps_frontend.dir/program_codegen.cpp.o"
+  "CMakeFiles/ps_frontend.dir/program_codegen.cpp.o.d"
+  "libps_frontend.a"
+  "libps_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/block.cpp" "src/ir/CMakeFiles/ps_ir.dir/block.cpp.o" "gcc" "src/ir/CMakeFiles/ps_ir.dir/block.cpp.o.d"
+  "/root/repo/src/ir/block_parser.cpp" "src/ir/CMakeFiles/ps_ir.dir/block_parser.cpp.o" "gcc" "src/ir/CMakeFiles/ps_ir.dir/block_parser.cpp.o.d"
+  "/root/repo/src/ir/dag.cpp" "src/ir/CMakeFiles/ps_ir.dir/dag.cpp.o" "gcc" "src/ir/CMakeFiles/ps_ir.dir/dag.cpp.o.d"
+  "/root/repo/src/ir/interp.cpp" "src/ir/CMakeFiles/ps_ir.dir/interp.cpp.o" "gcc" "src/ir/CMakeFiles/ps_ir.dir/interp.cpp.o.d"
+  "/root/repo/src/ir/opcode.cpp" "src/ir/CMakeFiles/ps_ir.dir/opcode.cpp.o" "gcc" "src/ir/CMakeFiles/ps_ir.dir/opcode.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/ir/CMakeFiles/ps_ir.dir/program.cpp.o" "gcc" "src/ir/CMakeFiles/ps_ir.dir/program.cpp.o.d"
+  "/root/repo/src/ir/program_parser.cpp" "src/ir/CMakeFiles/ps_ir.dir/program_parser.cpp.o" "gcc" "src/ir/CMakeFiles/ps_ir.dir/program_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_ir.dir/block.cpp.o"
+  "CMakeFiles/ps_ir.dir/block.cpp.o.d"
+  "CMakeFiles/ps_ir.dir/block_parser.cpp.o"
+  "CMakeFiles/ps_ir.dir/block_parser.cpp.o.d"
+  "CMakeFiles/ps_ir.dir/dag.cpp.o"
+  "CMakeFiles/ps_ir.dir/dag.cpp.o.d"
+  "CMakeFiles/ps_ir.dir/interp.cpp.o"
+  "CMakeFiles/ps_ir.dir/interp.cpp.o.d"
+  "CMakeFiles/ps_ir.dir/opcode.cpp.o"
+  "CMakeFiles/ps_ir.dir/opcode.cpp.o.d"
+  "CMakeFiles/ps_ir.dir/program.cpp.o"
+  "CMakeFiles/ps_ir.dir/program.cpp.o.d"
+  "CMakeFiles/ps_ir.dir/program_parser.cpp.o"
+  "CMakeFiles/ps_ir.dir/program_parser.cpp.o.d"
+  "libps_ir.a"
+  "libps_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_machine.dir/machine.cpp.o"
+  "CMakeFiles/ps_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/ps_machine.dir/machine_parser.cpp.o"
+  "CMakeFiles/ps_machine.dir/machine_parser.cpp.o.d"
+  "libps_machine.a"
+  "libps_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/exhaustive_scheduler.cpp" "src/sched/CMakeFiles/ps_sched.dir/exhaustive_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/ps_sched.dir/exhaustive_scheduler.cpp.o.d"
+  "/root/repo/src/sched/greedy_scheduler.cpp" "src/sched/CMakeFiles/ps_sched.dir/greedy_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/ps_sched.dir/greedy_scheduler.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "src/sched/CMakeFiles/ps_sched.dir/list_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/ps_sched.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/optimal_scheduler.cpp" "src/sched/CMakeFiles/ps_sched.dir/optimal_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/ps_sched.dir/optimal_scheduler.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/ps_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/ps_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/split_scheduler.cpp" "src/sched/CMakeFiles/ps_sched.dir/split_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/ps_sched.dir/split_scheduler.cpp.o.d"
+  "/root/repo/src/sched/timing.cpp" "src/sched/CMakeFiles/ps_sched.dir/timing.cpp.o" "gcc" "src/sched/CMakeFiles/ps_sched.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ps_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ps_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_sched.dir/exhaustive_scheduler.cpp.o"
+  "CMakeFiles/ps_sched.dir/exhaustive_scheduler.cpp.o.d"
+  "CMakeFiles/ps_sched.dir/greedy_scheduler.cpp.o"
+  "CMakeFiles/ps_sched.dir/greedy_scheduler.cpp.o.d"
+  "CMakeFiles/ps_sched.dir/list_scheduler.cpp.o"
+  "CMakeFiles/ps_sched.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/ps_sched.dir/optimal_scheduler.cpp.o"
+  "CMakeFiles/ps_sched.dir/optimal_scheduler.cpp.o.d"
+  "CMakeFiles/ps_sched.dir/schedule.cpp.o"
+  "CMakeFiles/ps_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/ps_sched.dir/split_scheduler.cpp.o"
+  "CMakeFiles/ps_sched.dir/split_scheduler.cpp.o.d"
+  "CMakeFiles/ps_sched.dir/timing.cpp.o"
+  "CMakeFiles/ps_sched.dir/timing.cpp.o.d"
+  "libps_sched.a"
+  "libps_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

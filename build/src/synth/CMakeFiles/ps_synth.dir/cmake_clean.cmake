@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_synth.dir/corpus.cpp.o"
+  "CMakeFiles/ps_synth.dir/corpus.cpp.o.d"
+  "CMakeFiles/ps_synth.dir/generator.cpp.o"
+  "CMakeFiles/ps_synth.dir/generator.cpp.o.d"
+  "libps_synth.a"
+  "libps_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/ps_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/ps_util.dir/csv.cpp.o"
+  "CMakeFiles/ps_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ps_util.dir/rng.cpp.o"
+  "CMakeFiles/ps_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ps_util.dir/stats.cpp.o"
+  "CMakeFiles/ps_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ps_util.dir/strings.cpp.o"
+  "CMakeFiles/ps_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ps_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ps_util.dir/thread_pool.cpp.o.d"
+  "libps_util.a"
+  "libps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asmout.dir/test_asmout.cpp.o"
+  "CMakeFiles/test_asmout.dir/test_asmout.cpp.o.d"
+  "test_asmout"
+  "test_asmout.pdb"
+  "test_asmout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asmout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_list_greedy.dir/test_list_greedy.cpp.o"
+  "CMakeFiles/test_list_greedy.dir/test_list_greedy.cpp.o.d"
+  "test_list_greedy"
+  "test_list_greedy.pdb"
+  "test_list_greedy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_list_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

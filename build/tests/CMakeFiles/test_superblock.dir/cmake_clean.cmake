@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_superblock.dir/test_superblock.cpp.o"
+  "CMakeFiles/test_superblock.dir/test_superblock.cpp.o.d"
+  "test_superblock"
+  "test_superblock.pdb"
+  "test_superblock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_superblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

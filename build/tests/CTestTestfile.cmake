@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_dag[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_hetero[1]_include.cmake")
+include("/root/repo/build/tests/test_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_list_greedy[1]_include.cmake")
+include("/root/repo/build/tests/test_optimal[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_regalloc[1]_include.cmake")
+include("/root/repo/build/tests/test_frontend[1]_include.cmake")
+include("/root/repo/build/tests/test_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_asmout[1]_include.cmake")
+include("/root/repo/build/tests/test_pressure[1]_include.cmake")
+include("/root/repo/build/tests/test_program[1]_include.cmake")
+include("/root/repo/build/tests/test_split[1]_include.cmake")
+include("/root/repo/build/tests/test_superblock[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc.dir/psc.cpp.o"
+  "CMakeFiles/psc.dir/psc.cpp.o.d"
+  "psc"
+  "psc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

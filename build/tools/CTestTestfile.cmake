@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(psc_help "/root/repo/build/tools/psc" "--help")
+set_tests_properties(psc_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(psc_straight_line "/root/repo/build/tools/psc" "--stats" "/root/repo/examples/programs/complex_mul.ps")
+set_tests_properties(psc_straight_line PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(psc_control_flow "/root/repo/build/tools/psc" "--superblock" "--boundary" "chain" "--mechanism" "tera" "/root/repo/examples/programs/clamp_loop.ps")
+set_tests_properties(psc_control_flow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(psc_tuples "/root/repo/build/tools/psc" "--tuples" "--trace" "--dump-dag" "/root/repo/examples/programs/figure3.tuples")
+set_tests_properties(psc_tuples PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(psc_machine_file "/root/repo/build/tools/psc" "--machine-file" "/root/repo/machines/asymmetric.machine" "--registers" "6" "/root/repo/examples/programs/complex_mul.ps")
+set_tests_properties(psc_machine_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(psc_split_exhaustive "/root/repo/build/tools/psc" "--scheduler" "exhaustive" "/root/repo/examples/programs/complex_mul.ps")
+set_tests_properties(psc_split_exhaustive PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(psc_program_tuples "/root/repo/build/tools/psc" "--tuples" "--boundary" "chain" "--stats" "/root/repo/examples/programs/countdown.ptuples")
+set_tests_properties(psc_program_tuples PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
