@@ -63,10 +63,18 @@ int main() {
   }
   {
     SearchConfig c = paper;
+    c.dominance_cache = false;
+    variants.push_back({"no dominance cache (ext)", c});
+  }
+  {
+    SearchConfig c = paper;
     c.strong_equivalence = true;
     c.lower_bound_prune = true;
     variants.push_back({"all extensions", c});
   }
+  // "paper default" and every row above run with the dominance cache at
+  // its default (on); the dedicated cache row and bench_ablation_cache
+  // price it in isolation.
 
   CsvWriter csv("ablation_pruning.csv");
   csv.row({"variant", "avg_omega_calls", "pct_completed", "avg_final_nops"});

@@ -25,6 +25,11 @@ std::vector<RunRecord> run_corpus(const std::vector<GeneratorParams>& params,
     record.final_nops = result.stats.best_nops;
     record.omega_calls = result.stats.omega_calls;
     record.schedules_examined = result.stats.schedules_examined;
+    record.nodes_expanded = result.stats.nodes_expanded;
+    record.cache_probes = result.stats.cache_probes;
+    record.cache_hits = result.stats.cache_hits;
+    record.cache_evictions = result.stats.cache_evictions;
+    record.cache_superseded = result.stats.cache_superseded;
     record.completed = result.stats.completed;
     record.seconds = result.stats.seconds;
   });
@@ -45,12 +50,18 @@ void fill_column(CorpusSummary::Column& col, std::size_t total_runs,
   double initial = 0;
   double final_nops = 0;
   double omega = 0;
+  double nodes = 0;
+  double probes = 0;
+  double hits = 0;
   double secs = 0;
   for (const RunRecord* r : records) {
     insns += r->block_size;
     initial += r->initial_nops;
     final_nops += r->final_nops;
     omega += static_cast<double>(r->omega_calls);
+    nodes += static_cast<double>(r->nodes_expanded);
+    probes += static_cast<double>(r->cache_probes);
+    hits += static_cast<double>(r->cache_hits);
     secs += r->seconds;
   }
   const auto n = static_cast<double>(records.size());
@@ -58,6 +69,8 @@ void fill_column(CorpusSummary::Column& col, std::size_t total_runs,
   col.avg_initial_nops = initial / n;
   col.avg_final_nops = final_nops / n;
   col.avg_omega_calls = omega / n;
+  col.avg_nodes_expanded = nodes / n;
+  col.cache_hit_percent = probes > 0 ? 100.0 * hits / probes : 0.0;
   col.avg_seconds = secs / n;
 }
 
@@ -106,6 +119,12 @@ std::string render_corpus_summary(const CorpusSummary& summary) {
   });
   row("Avg. Omega Calls", [](const CorpusSummary::Column& c) {
     return compact_double(c.avg_omega_calls, 4);
+  });
+  row("Avg. Nodes Expanded", [](const CorpusSummary::Column& c) {
+    return compact_double(c.avg_nodes_expanded, 4);
+  });
+  row("Cache Hit Rate", [](const CorpusSummary::Column& c) {
+    return compact_double(c.cache_hit_percent, 4) + "%";
   });
   row("Avg. Search Time", [](const CorpusSummary::Column& c) {
     return compact_double(c.avg_seconds * 1e6, 3) + "us";

@@ -19,6 +19,11 @@ struct RunRecord {
   int final_nops = 0;       ///< NOPs of the best schedule found
   std::uint64_t omega_calls = 0;
   std::uint64_t schedules_examined = 0;
+  std::uint64_t nodes_expanded = 0;   ///< search-tree descents
+  std::uint64_t cache_probes = 0;     ///< dominance-cache traffic
+  std::uint64_t cache_hits = 0;       ///< subtrees pruned as dominated
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_superseded = 0;
   bool completed = true;    ///< condition [1] (provably optimal)
   double seconds = 0.0;
 };
@@ -45,6 +50,8 @@ struct CorpusSummary {
     double avg_initial_nops = 0;
     double avg_final_nops = 0;
     double avg_omega_calls = 0;
+    double avg_nodes_expanded = 0;
+    double cache_hit_percent = 0;  ///< hits / probes over the column
     double avg_seconds = 0;
   };
   Column completed;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
 #include "sched/list_scheduler.hpp"
 #include "util/check.hpp"
+#include "util/dominance_cache.hpp"
 #include "util/timer.hpp"
 
 namespace pipesched {
@@ -107,7 +109,12 @@ class Search {
         classes_(equivalence_classes(machine, dag,
                                      config.strong_equivalence,
                                      config.max_live_registers > 0)),
-        latency_height_(latency_heights(machine, dag)) {}
+        latency_height_(latency_heights(machine, dag)),
+        zobrist_(dag.size()) {
+    if (config.dominance_cache && n_ > 0) {
+      cache_.emplace(config.dominance_cache_bytes);
+    }
+  }
 
   OptimalResult run() {
     Timer wall;
@@ -166,6 +173,14 @@ class Search {
     stats_ = &result.stats;
     if (n_ > 0 && best_nops_ > 0) descend();
     result.stats.best_nops = result.best.total_nops();
+    if (cache_) {
+      const DominanceCacheStats& cs = cache_->stats();
+      result.stats.cache_probes = cs.probes;
+      result.stats.cache_hits = cs.hits;
+      result.stats.cache_misses = cs.misses;
+      result.stats.cache_evictions = cs.evictions;
+      result.stats.cache_superseded = cs.superseded;
+    }
     result.stats.seconds = wall.seconds();
     return result;
   }
@@ -253,7 +268,68 @@ class Search {
     live_ = live_before_stack_[timer_.depth() - 1];
   }
 
+  /// True when placed tuple `t` still has an unplaced consumer (only then
+  /// does its pending latency constrain future placements).
+  bool has_unplaced_succ(TupleIndex t) const {
+    for (TupleIndex s : dag_.succs(t)) {
+      if (!timer_.is_placed(s)) return true;
+    }
+    return false;
+  }
+
+  /// Canonical search-state key: the Zobrist hash of the placed set,
+  /// XOR-folded (order-independently) with every timing residue that can
+  /// still constrain a future placement, expressed RELATIVE to the next
+  /// issue slot t_now + 1 so that transpositions reaching the same
+  /// constellation at different absolute cycles still collide:
+  ///
+  ///   * each unit whose next-accept cycle lies beyond the next slot
+  ///     (enqueue conflict residue), as (unit, cycles-beyond);
+  ///   * each placed producer whose result becomes available beyond the
+  ///     next slot AND is still awaited by an unplaced consumer
+  ///     (dependence residue), as (tuple, cycles-beyond).
+  ///
+  /// Everything else the future cost depends on — ready sets, window
+  /// positions, equivalence classes, live-register counts — is a function
+  /// of the placed set alone. Two states with equal keys therefore admit
+  /// the same completions at the same incremental cost (modulo the 2^-64
+  /// hash-collision risk inherent to Zobrist schemes).
+  std::uint64_t state_key() const {
+    std::uint64_t h = scheduled_hash_;
+    const int t_next = timer_.last_issue_cycle() + 1;
+
+    for (std::size_t u = 0; u < machine_.pipeline_count(); ++u) {
+      const auto unit = static_cast<PipelineId>(u);
+      const int ready =
+          timer_.unit_last_issue(unit) + machine_.pipeline(unit).enqueue;
+      if (ready > t_next) {
+        h ^= hash64((std::uint64_t{1} << 48) |
+                    (static_cast<std::uint64_t>(u) << 32) |
+                    static_cast<std::uint64_t>(ready - t_next));
+      }
+    }
+
+    // Placements are in issue order, so only a bounded tail can still
+    // carry latency past the next slot.
+    const auto& placements = timer_.placements();
+    const int max_latency = machine_.max_latency();
+    for (std::size_t i = placements.size(); i-- > 0;) {
+      const auto& p = placements[i];
+      if (p.issue_cycle + max_latency <= t_next) break;
+      const int latency =
+          p.unit == kNoPipeline ? 0 : machine_.pipeline(p.unit).latency;
+      const int available = p.issue_cycle + latency;
+      if (available <= t_next) continue;
+      if (!has_unplaced_succ(p.tuple)) continue;
+      h ^= hash64((std::uint64_t{2} << 48) |
+                  (static_cast<std::uint64_t>(p.tuple) << 32) |
+                  static_cast<std::uint64_t>(available - t_next));
+    }
+    return h;
+  }
+
   void descend() {
+    ++stats_->nodes_expanded;
     if (timer_.depth() == n_) {
       ++stats_->schedules_examined;
       stats_->feasible = true;
@@ -263,6 +339,20 @@ class Search {
         best_nops_ = timer_.total_nops();
         *best_schedule_ = timer_.snapshot();
       }
+      return;
+    }
+
+    // Dominance prune: an earlier visit of this exact scheduler state at
+    // equal-or-lower partial cost has already explored (or soundly
+    // pruned) every completion reachable from here. The incumbent only
+    // ever improves, so the earlier visit ran under an equal-or-weaker
+    // alpha-beta bound and cannot have cut anything this branch would
+    // keep. Equal-cost revisits are pruned too: that discards alternative
+    // optima reachable through this state, never all of them.
+    if (cache_ && timer_.depth() > 0 &&
+        cache_->probe_and_update(state_key(),
+                                 static_cast<int>(timer_.depth()),
+                                 timer_.total_nops())) {
       return;
     }
 
@@ -325,6 +415,7 @@ class Search {
         } else {
           timer_.push(candidate, groups[g]);
         }
+        scheduled_hash_ ^= zobrist_.key(static_cast<std::size_t>(candidate));
         pressure_push(candidate);
         for (TupleIndex s : dag_.succs(candidate)) {
           --unplaced_preds_[static_cast<std::size_t>(s)];
@@ -344,6 +435,7 @@ class Search {
           ++unplaced_preds_[static_cast<std::size_t>(s)];
         }
         pressure_pop(candidate);
+        scheduled_hash_ ^= zobrist_.key(static_cast<std::size_t>(candidate));
         timer_.pop();
 
         if (!stats_->completed) return;    // curtailed deeper in the tree
@@ -367,6 +459,9 @@ class Search {
   std::vector<int> remaining_uses_;
   std::vector<int> total_uses_;
   std::vector<int> live_before_stack_;
+  ZobristKeys zobrist_;
+  std::optional<DominanceCache> cache_;
+  std::uint64_t scheduled_hash_ = 0;
   int live_ = 0;
   int best_nops_ = 0;
   Schedule* best_schedule_ = nullptr;

@@ -24,7 +24,16 @@
 //   lower bound      (extension, off by default) latency-weighted critical
 //                    path of the unscheduled suffix, admissible, prunes
 //                    partials whose best possible completion cannot beat
-//                    the incumbent.
+//                    the incumbent;
+//   dominance cache  (extension, on by default) transposition pruning: the
+//                    canonical search state — set of placed instructions
+//                    plus pipeline/producer timing residue relative to the
+//                    current cycle — is Zobrist-hashed into a bounded
+//                    cache; a branch reaching a cached state at equal-or-
+//                    worse partial cost is dominated, because the earlier,
+//                    cheaper visit admits exactly the same completions at
+//                    the same incremental cost (soundness argument in
+//                    DESIGN.md).
 //
 // On machines with heterogeneous alternative units (the general Section
 // 4.1 model footnote 3 excludes) each candidate placement additionally
@@ -38,6 +47,7 @@
 // possibly-suboptimal.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "sched/schedule.hpp"
@@ -55,6 +65,17 @@ struct SearchConfig {
   bool window_prune = true;           ///< forced-position rule from [5a]
   bool lower_bound_prune = false;     ///< critical-path bound (extension)
   bool seed_with_list_schedule = true;  ///< step [1] seed; else original order
+
+  /// State-dominance (transposition) cache: prune branches that reach an
+  /// already-visited scheduler state at equal-or-worse partial cost.
+  /// Cost-preserving (never prunes all optima) and compatible with every
+  /// other rule, including the register-pressure ceiling — live counts
+  /// are a function of the placed *set*, which is part of the state key.
+  bool dominance_cache = true;
+
+  /// Memory budget for the dominance cache, per search (16-byte entries;
+  /// the table starts small and grows on demand up to this bound).
+  std::size_t dominance_cache_bytes = 1u << 20;
 
   /// Register-pressure ceiling (0 = unconstrained). When set, the search
   /// only explores schedules whose simultaneously-live value count never

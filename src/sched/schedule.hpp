@@ -61,6 +61,20 @@ struct SearchStats {
   /// the ceiling was found (true for unconstrained searches).
   bool feasible = true;
 
+  /// Search-tree nodes expanded (descents into a partial schedule,
+  /// including the root and complete leaves). With the dominance cache
+  /// enabled this can only shrink: cache hits cut whole subtrees.
+  std::uint64_t nodes_expanded = 0;
+
+  /// Dominance-cache traffic (all zero when the cache is disabled).
+  /// Invariant: cache_hits + cache_misses == cache_probes; every hit is
+  /// one pruned subtree.
+  std::uint64_t cache_probes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;   ///< entries displaced (budget full)
+  std::uint64_t cache_superseded = 0;  ///< cached cost improved in place
+
   double seconds = 0.0;
 };
 

@@ -100,7 +100,6 @@ class PipelineTimer {
   const Machine& machine() const { return *machine_; }
   const DepGraph& dag() const { return *dag_; }
 
- private:
   struct Placement {
     TupleIndex tuple;
     int issue_cycle;
@@ -109,6 +108,17 @@ class PipelineTimer {
     int prev_unit_last_issue; // saved for pop()
   };
 
+  /// Placed instructions in issue order (read-only view for the search's
+  /// state hashing: recent placements carry the pending-latency residue).
+  const std::vector<Placement>& placements() const { return placements_; }
+
+  /// Cycle at which unit `u` last accepted an operation (very negative
+  /// when never used; see PipelineState).
+  int unit_last_issue(PipelineId u) const {
+    return unit_last_issue_[static_cast<std::size_t>(u)];
+  }
+
+ private:
   const Machine* machine_;
   const DepGraph* dag_;
   std::vector<Placement> placements_;

@@ -1,0 +1,115 @@
+#include "util/dominance_cache.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pipesched {
+
+namespace {
+
+/// Smallest table worth allocating: 1024 entries = 16 KiB.
+constexpr std::size_t kMinEntries = 1024;
+
+std::size_t floor_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+ZobristKeys::ZobristKeys(std::size_t elements, std::uint64_t seed) {
+  Rng rng(seed);
+  keys_.reserve(elements);
+  for (std::size_t i = 0; i < elements; ++i) {
+    keys_.push_back(rng.next_u64());
+  }
+}
+
+DominanceCache::DominanceCache(std::size_t max_bytes) {
+  max_entries_ =
+      std::max(kMinEntries, floor_pow2(max_bytes / sizeof(Entry)));
+  entries_.assign(std::min(kMinEntries, max_entries_), Entry{});
+}
+
+bool DominanceCache::place(std::vector<Entry>& table, const Entry& e) {
+  const std::size_t mask = table.size() - 1;
+  for (std::size_t w = 0; w < kProbeWindow; ++w) {
+    Entry& slot = table[(e.key + w) & mask];
+    if (slot.key == 0) {
+      slot = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+void DominanceCache::maybe_grow() {
+  if (used_ * 2 < entries_.size() || entries_.size() >= max_entries_) return;
+  std::vector<Entry> bigger(entries_.size() * 2, Entry{});
+  std::size_t kept = 0;
+  for (const Entry& e : entries_) {
+    if (e.key != 0 && place(bigger, e)) ++kept;
+  }
+  // Entries that no longer fit their probe window are simply dropped:
+  // the cache is a pruning accelerator, never a correctness requirement.
+  stats_.evictions += used_ - kept;
+  used_ = kept;
+  entries_ = std::move(bigger);
+}
+
+bool DominanceCache::probe_and_update(std::uint64_t key, int depth,
+                                      int cost) {
+  PS_ASSERT(depth >= 0 && depth < (1 << 16));
+  if (key == 0) key = 0x9e3779b97f4a7c15ull;  // 0 marks empty slots
+  ++stats_.probes;
+
+  const std::size_t mask = entries_.size() - 1;
+  const auto depth16 = static_cast<std::uint16_t>(depth);
+  std::size_t victim = key & mask;
+  for (std::size_t w = 0; w < kProbeWindow; ++w) {
+    const std::size_t idx = (key + w) & mask;
+    Entry& e = entries_[idx];
+    if (e.key == 0) {
+      e.key = key;
+      e.cost = cost;
+      e.depth = depth16;
+      ++used_;
+      ++stats_.misses;
+      ++stats_.inserts;
+      maybe_grow();
+      return false;
+    }
+    if (e.key == key && e.depth == depth16) {
+      if (e.cost <= cost) {
+        ++stats_.hits;
+        return true;
+      }
+      e.cost = cost;
+      ++stats_.misses;
+      ++stats_.superseded;
+      return false;
+    }
+    // Replacement policy: keep the shallowest states — they guard the
+    // largest subtrees — and among equal depths keep the cheaper (stronger
+    // dominator). The victim is the most expendable entry in the window.
+    const Entry& v = entries_[victim];
+    if (e.depth > v.depth || (e.depth == v.depth && e.cost > v.cost)) {
+      victim = idx;
+    }
+  }
+
+  Entry& v = entries_[victim];
+  if (v.depth >= depth16) {
+    v.key = key;
+    v.cost = cost;
+    v.depth = depth16;
+    ++stats_.evictions;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+}  // namespace pipesched

@@ -1,0 +1,113 @@
+// State-dominance (transposition) cache for tree searches.
+//
+// The branch-and-bound schedule search re-derives the same *scheduler
+// state* — set of placed instructions plus residual pipeline timing
+// relative to the current cycle — along factorially many permutations of
+// the decisions that built it. Any two partial schedules reaching the same
+// state admit exactly the same set of completions at exactly the same
+// incremental cost, so only the cheapest visit needs its subtree explored:
+// a branch arriving at a cached state with equal-or-worse partial cost is
+// dominated and can be pruned without discarding any strictly better
+// completion (see DESIGN.md for the soundness argument relative to the
+// paper's pruning rules [5a]-[5c]/[6]).
+//
+// This header provides the two generic pieces:
+//
+//   * ZobristKeys / hash64 — 64-bit incremental hashing material. Each
+//     element id gets one fixed random word; a set hashes to the XOR of
+//     its members' words, so membership updates are O(1) on push/pop.
+//     hash64() folds auxiliary small integers (relative timing residues)
+//     into the key order-independently.
+//
+//   * DominanceCache — a fixed-budget open-addressing hash table mapping
+//     (key, depth) -> best partial cost seen. Bounded linear probing with
+//     a keep-the-shallowest replacement policy (shallow states guard the
+//     largest subtrees); the table starts small and doubles up to the
+//     byte budget so tiny searches pay near-zero setup cost. All traffic
+//     is counted (probes/hits/misses/inserts/evictions/superseded) for
+//     telemetry.
+//
+// The cache is deliberately ignorant of schedules: callers define what a
+// "state key" means. It is not thread-safe; the search owns one instance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pipesched {
+
+/// Fixed pseudo-random 64-bit word per element id, for XOR set hashing.
+class ZobristKeys {
+ public:
+  explicit ZobristKeys(std::size_t elements,
+                       std::uint64_t seed = 0x5eed0fca11ab1e5ull);
+
+  std::uint64_t key(std::size_t id) const { return keys_[id]; }
+  std::size_t size() const { return keys_.size(); }
+
+ private:
+  std::vector<std::uint64_t> keys_;
+};
+
+/// Scramble a word through a splitmix64-style finalizer: distinct inputs
+/// map to effectively independent words, so XOR-combining hash64() of
+/// several (tag, value) packs builds an order-independent set hash.
+inline std::uint64_t hash64(std::uint64_t v) {
+  v += 0x9e3779b97f4a7c15ull;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+  return v ^ (v >> 31);
+}
+
+/// Traffic counters. Invariants (checked by the test suite):
+/// hits + misses == probes; inserts <= misses; superseded <= misses.
+struct DominanceCacheStats {
+  std::uint64_t probes = 0;      ///< probe_and_update calls
+  std::uint64_t hits = 0;        ///< dominated: cached cost <= offered cost
+  std::uint64_t misses = 0;      ///< state unknown or strictly improved
+  std::uint64_t inserts = 0;     ///< new entries created
+  std::uint64_t evictions = 0;   ///< entries displaced by replacement
+  std::uint64_t superseded = 0;  ///< cached cost improved in place
+};
+
+class DominanceCache {
+ public:
+  /// `max_bytes` bounds the table; entries are 16 bytes each. The table
+  /// starts at a small power of two and doubles on demand up to the
+  /// budget, so per-search construction cost stays proportional to use.
+  explicit DominanceCache(std::size_t max_bytes = kDefaultBytes);
+
+  /// One combined lookup/store at `depth` with partial cost `cost`:
+  /// returns true when a cached visit of the same (key, depth) had
+  /// equal-or-lower cost — the caller's branch is dominated and should be
+  /// pruned. Otherwise records (or improves) the entry and returns false.
+  bool probe_and_update(std::uint64_t key, int depth, int cost);
+
+  const DominanceCacheStats& stats() const { return stats_; }
+  std::size_t capacity() const { return entries_.size(); }
+  std::size_t max_capacity() const { return max_entries_; }
+
+  static constexpr std::size_t kDefaultBytes = std::size_t{1} << 20;
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;  ///< 0 = empty slot (real keys are remapped)
+    std::int32_t cost = 0;
+    std::uint16_t depth = 0;
+    std::uint16_t pad = 0;
+  };
+  static_assert(sizeof(Entry) == 16);
+
+  static constexpr std::size_t kProbeWindow = 8;
+
+  void maybe_grow();
+  static bool place(std::vector<Entry>& table, const Entry& e);
+
+  std::vector<Entry> entries_;
+  std::size_t max_entries_;
+  std::size_t used_ = 0;
+  DominanceCacheStats stats_;
+};
+
+}  // namespace pipesched

@@ -1,0 +1,197 @@
+// Differential oracle for the branch-and-bound scheduler and its
+// state-dominance cache.
+//
+// Three layers of cross-checking, all on small synthetic blocks where the
+// exhaustive scheduler is tractable ground truth:
+//
+//   1. Oracle equality: on ~500 generated blocks across every machine
+//      preset, the branch-and-bound optimum equals the exhaustive optimum
+//      with the cache enabled AND disabled — an unsound dominance prune
+//      (one that discards all optima of some state) fails here.
+//   2. Cache on/off agreement under a register-pressure ceiling: both
+//      configurations must report the same `feasible` flag and, when
+//      feasible, the same optimal cost — pressure feasibility is a
+//      function of the placed set, so the cache may never flip it.
+//   3. Telemetry invariants on a fixed-seed corpus: the SearchStats
+//      counters must stay internally consistent (hits + misses == probes;
+//      nodes expanded with the cache <= without; probes bounded by
+//      expansions), so a silent telemetry regression fails loudly.
+#include <gtest/gtest.h>
+
+#include "core/corpus_runner.hpp"
+#include "ir/dag.hpp"
+#include "sched/exhaustive_scheduler.hpp"
+#include "sched/optimal_scheduler.hpp"
+#include "synth/corpus.hpp"
+#include "synth/generator.hpp"
+
+namespace pipesched {
+namespace {
+
+SearchConfig exhaustion(bool cache) {
+  SearchConfig config;
+  config.curtail_lambda = 0;
+  config.dominance_cache = cache;
+  return config;
+}
+
+TEST(Differential, OptimalMatchesExhaustiveOracleCacheOnAndOff) {
+  const auto& machines = Machine::preset_names();
+  int checked = 0;
+  for (std::uint64_t seed = 1; checked < 500 && seed <= 6000; ++seed) {
+    const Machine machine =
+        Machine::preset(machines[seed % machines.size()]);
+    GeneratorParams params;
+    params.statements = 2 + static_cast<int>(seed % 4);
+    params.variables = 3;
+    params.constants = 2;
+    params.seed = seed * 7919;
+    const BasicBlock block = generate_block(params);
+    if (block.empty() || block.size() > 11) continue;
+    const DepGraph dag(block);
+
+    // Ground truth; skip the rare block whose legal-order count explodes.
+    const ExhaustiveResult truth = exhaustive_schedule(machine, dag, 300000);
+    if (!truth.completed) continue;
+    const int optimum = truth.best.total_nops();
+
+    const OptimalResult with_cache =
+        optimal_schedule(machine, dag, exhaustion(true));
+    const OptimalResult without_cache =
+        optimal_schedule(machine, dag, exhaustion(false));
+
+    ASSERT_TRUE(with_cache.stats.completed);
+    ASSERT_TRUE(without_cache.stats.completed);
+    ASSERT_EQ(with_cache.best.total_nops(), optimum)
+        << "cache ON diverges from exhaustive oracle: machine="
+        << machine.name() << " seed=" << params.seed << "\n"
+        << block.to_string();
+    ASSERT_EQ(without_cache.best.total_nops(), optimum)
+        << "cache OFF diverges from exhaustive oracle: machine="
+        << machine.name() << " seed=" << params.seed;
+    ASSERT_EQ(with_cache.stats.feasible, without_cache.stats.feasible);
+    ASSERT_TRUE(dag.is_legal_order(with_cache.best.order));
+    ++checked;
+  }
+  EXPECT_GE(checked, 500) << "generator produced too few oracle blocks";
+}
+
+TEST(Differential, CacheAgreesUnderRegisterPressure) {
+  // Feasibility under a register ceiling depends only on the scheduled
+  // set, never on the path that built it — so cache on/off must agree on
+  // `feasible` and, when feasible, on the optimal cost. Ceilings 3..5
+  // cover infeasible, barely-feasible and comfortable blocks.
+  int feasible_seen = 0;
+  int infeasible_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    GeneratorParams params;
+    params.statements = 3 + static_cast<int>(seed % 3);
+    params.variables = 4;
+    params.constants = 2;
+    params.seed = seed * 104729;
+    const BasicBlock block = generate_block(params);
+    if (block.empty() || block.size() > 10) continue;
+    const DepGraph dag(block);
+    const Machine machine = Machine::paper_simulation();
+
+    for (int ceiling = 3; ceiling <= 5; ++ceiling) {
+      SearchConfig on = exhaustion(true);
+      on.max_live_registers = ceiling;
+      SearchConfig off = exhaustion(false);
+      off.max_live_registers = ceiling;
+
+      const OptimalResult r_on = optimal_schedule(machine, dag, on);
+      const OptimalResult r_off = optimal_schedule(machine, dag, off);
+      ASSERT_EQ(r_on.stats.feasible, r_off.stats.feasible)
+          << "seed=" << params.seed << " ceiling=" << ceiling;
+      if (r_on.stats.feasible) {
+        ASSERT_EQ(r_on.best.total_nops(), r_off.best.total_nops())
+            << "seed=" << params.seed << " ceiling=" << ceiling;
+        ++feasible_seen;
+      } else {
+        ++infeasible_seen;
+      }
+    }
+  }
+  // The sweep must have exercised both outcomes to mean anything.
+  EXPECT_GT(feasible_seen, 0);
+  EXPECT_GT(infeasible_seen, 0);
+}
+
+TEST(CacheTelemetry, CountersAreInternallyConsistent) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    GeneratorParams params;
+    params.statements = 6 + static_cast<int>(seed % 5);
+    params.variables = 4;
+    params.constants = 2;
+    params.seed = seed;
+    const BasicBlock block = generate_block(params);
+    if (block.empty()) continue;
+    const DepGraph dag(block);
+    const Machine machine = Machine::paper_simulation();
+
+    SearchConfig on = exhaustion(true);
+    on.curtail_lambda = 200000;
+    SearchConfig off = exhaustion(false);
+    off.curtail_lambda = 200000;
+
+    const OptimalResult r_on = optimal_schedule(machine, dag, on);
+    const OptimalResult r_off = optimal_schedule(machine, dag, off);
+
+    // Cache-side ledger.
+    EXPECT_EQ(r_on.stats.cache_hits + r_on.stats.cache_misses,
+              r_on.stats.cache_probes)
+        << "seed " << seed;
+    // One probe per non-root, non-leaf expansion.
+    EXPECT_LE(r_on.stats.cache_probes, r_on.stats.nodes_expanded)
+        << "seed " << seed;
+    // Every hit prunes a subtree, so the cached search can only shrink.
+    EXPECT_LE(r_on.stats.nodes_expanded, r_off.stats.nodes_expanded)
+        << "seed " << seed;
+    EXPECT_LE(r_on.stats.omega_calls, r_off.stats.omega_calls)
+        << "seed " << seed;
+    // Disabled cache must report dead-zero telemetry.
+    EXPECT_EQ(r_off.stats.cache_probes, 0u);
+    EXPECT_EQ(r_off.stats.cache_hits, 0u);
+    EXPECT_EQ(r_off.stats.cache_evictions, 0u);
+    // And both must agree on the result when both completed.
+    if (r_on.stats.completed && r_off.stats.completed) {
+      EXPECT_EQ(r_on.best.total_nops(), r_off.best.total_nops())
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(CacheTelemetry, CorpusRunnerThreadsCacheCounters) {
+  // The aggregation path must carry the new counters end to end: run a
+  // small fixed corpus and check the summary's cache columns are live.
+  CorpusSpec spec;
+  spec.total_runs = 60;
+  CorpusRunOptions options;
+  options.machine = Machine::paper_simulation();
+  options.search.curtail_lambda = 20000;
+  options.threads = 2;
+  const auto records = run_corpus(corpus_params(spec), options);
+
+  std::uint64_t probes = 0, hits = 0, nodes = 0;
+  for (const RunRecord& r : records) {
+    probes += r.cache_probes;
+    hits += r.cache_hits;
+    nodes += r.nodes_expanded;
+    EXPECT_LE(r.cache_hits, r.cache_probes);
+  }
+  EXPECT_GT(nodes, 0u);
+  EXPECT_GT(probes, 0u);
+
+  const CorpusSummary summary = summarize_corpus(records);
+  EXPECT_GT(summary.total.avg_nodes_expanded, 0.0);
+  if (hits > 0) {
+    EXPECT_GT(summary.total.cache_hit_percent, 0.0);
+  }
+  const std::string rendered = render_corpus_summary(summary);
+  EXPECT_NE(rendered.find("Nodes Expanded"), std::string::npos);
+  EXPECT_NE(rendered.find("Cache Hit Rate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pipesched

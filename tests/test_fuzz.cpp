@@ -55,6 +55,7 @@ TEST_P(EndToEndFuzz, AllInvariantsHold) {
       search.curtail_lambda = 5000;
       search.strong_equivalence = rng.next_bool();
       search.lower_bound_prune = rng.next_bool();
+      search.dominance_cache = rng.next_bool();
       SearchStats stats;
       const Schedule schedule =
           run_scheduler(kind, machine, dag, search, &stats);
@@ -92,6 +93,85 @@ TEST_P(EndToEndFuzz, AllInvariantsHold) {
       }
     }
   }
+}
+
+/// A machine description drawn at random: 1-4 pipelines with independent
+/// latency/enqueue parameters, each schedulable opcode mapped to a random
+/// non-empty unit subset (or left sigma-empty). Subsets spanning units
+/// with different parameters exercise the heterogeneous-alternatives
+/// branching, which the preset sweep only covers via asymmetric-alus.
+Machine random_machine(Rng& rng) {
+  Machine machine("fuzz-random");
+  const int units = 1 + static_cast<int>(rng.next_below(4));
+  for (int u = 0; u < units; ++u) {
+    machine.add_pipeline("u" + std::to_string(u),
+                         1 + static_cast<int>(rng.next_below(6)),
+                         1 + static_cast<int>(rng.next_below(4)));
+  }
+  for (Opcode op : {Opcode::Load, Opcode::Mov, Opcode::Neg, Opcode::Add,
+                    Opcode::Sub, Opcode::Mul, Opcode::Div}) {
+    if (!rng.next_bool(0.8)) continue;  // sigma = empty sometimes
+    std::vector<PipelineId> subset;
+    for (int u = 0; u < units; ++u) {
+      if (rng.next_bool()) subset.push_back(u);
+    }
+    if (subset.empty()) subset.push_back(static_cast<PipelineId>(
+        rng.next_below(static_cast<std::uint64_t>(units))));
+    machine.map_op(op, subset);
+  }
+  return machine;
+}
+
+TEST(RandomMachineFuzz, CachedSchedulesValidateOnSimulator) {
+  // Dominance-cache soundness across randomized machine descriptions,
+  // including heterogeneous-pipeline configs: every schedule the cached
+  // search returns must pass cycle-level simulator validation (legal
+  // issue order, stall count == inserted NOPs), and must cost exactly
+  // what the uncached search costs.
+  Rng rng(0xF022CACE);
+  int heterogeneous_seen = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Machine machine = random_machine(rng);
+    if (machine.has_heterogeneous_alternatives()) ++heterogeneous_seen;
+
+    GeneratorParams params;
+    params.statements = 3 + static_cast<int>(rng.next_below(8));
+    params.variables = 3 + static_cast<int>(rng.next_below(5));
+    params.constants = 1 + static_cast<int>(rng.next_below(4));
+    params.seed = rng.next_u64();
+    params.optimize = rng.next_bool(0.7);
+    const BasicBlock block = generate_block(params);
+    if (block.empty()) continue;
+    const DepGraph dag(block);
+
+    SearchConfig cached;
+    cached.curtail_lambda = 20000;
+    SearchConfig uncached = cached;
+    uncached.dominance_cache = false;
+
+    const OptimalResult with_cache = optimal_schedule(machine, dag, cached);
+    const OptimalResult without_cache =
+        optimal_schedule(machine, dag, uncached);
+
+    ASSERT_TRUE(dag.is_legal_order(with_cache.best.order)) << "trial " << trial;
+    const SimResult padded = validate_padded(machine, dag, with_cache.best);
+    ASSERT_TRUE(padded.ok) << "trial " << trial << ": " << padded.error;
+    const SimResult interlocked =
+        machine.has_heterogeneous_alternatives()
+            ? simulate_interlocked(machine, dag, with_cache.best.order,
+                                   with_cache.best.unit)
+            : simulate_interlocked(machine, dag, with_cache.best.order);
+    ASSERT_EQ(interlocked.total_delay, with_cache.best.total_nops())
+        << "trial " << trial;
+
+    if (with_cache.stats.completed && without_cache.stats.completed) {
+      ASSERT_EQ(with_cache.best.total_nops(),
+                without_cache.best.total_nops())
+          << "trial " << trial << " machine:\n" << machine.to_string()
+          << block.to_string();
+    }
+  }
+  EXPECT_GT(heterogeneous_seen, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice over:
+#   1. Release       — the configuration the benches and users run;
+#   2. Debug + ASan/UBSan (-DPIPESCHED_SANITIZE=address,undefined) — the
+#      configuration that catches lifetime and UB bugs the optimizer hides.
+#
+# Usage: tools/ci.sh [jobs]   (defaults to nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${1:-$(nproc)}"
+
+run_suite() {
+  local dir="$1"; shift
+  echo "==== configuring ${dir} ($*) ===="
+  cmake -B "${dir}" -S . "$@"
+  echo "==== building ${dir} ===="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "==== testing ${dir} ===="
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_suite build-ci-release -DCMAKE_BUILD_TYPE=Release
+
+run_suite build-ci-sanitize \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DPIPESCHED_SANITIZE=address,undefined
+
+echo "==== CI OK: Release and sanitized Debug suites both green ===="

@@ -49,6 +49,7 @@ scheduling:
                         exhaustive
   --lambda <N>          curtail point (0 = search to exhaustion;
                         default 50000)
+  --no-cache            disable the state-dominance (transposition) cache
   --split <W>           schedule straight-line blocks with the Section 5.3
                         window splitter instead of the global search
   --registers <N>       register-limited compilation: spill + pressure-
@@ -75,6 +76,7 @@ struct Args {
   std::string machine_file;
   SchedulerKind scheduler = SchedulerKind::Optimal;
   std::uint64_t lambda = 50000;
+  bool dominance_cache = true;
   int split_window = 0;
   int register_limit = 0;
   DelayMechanism mechanism = DelayMechanism::NopPadding;
@@ -140,6 +142,8 @@ Args parse_args(int argc, char** argv) {
       args.scheduler = parse_scheduler(next());
     } else if (arg == "--lambda") {
       args.lambda = std::stoull(next());
+    } else if (arg == "--no-cache") {
+      args.dominance_cache = false;
     } else if (arg == "--split") {
       args.split_window = std::stoi(next());
     } else if (arg == "--registers") {
@@ -185,6 +189,13 @@ void print_stats(const SearchStats& stats) {
             << ", initial NOPs " << stats.initial_nops << ", final NOPs "
             << stats.best_nops << ", "
             << static_cast<long>(stats.seconds * 1e6) << "us\n";
+  if (stats.cache_probes > 0) {
+    std::cerr << "; dominance cache: " << stats.cache_probes << " probes, "
+              << stats.cache_hits << " hits (subtrees pruned), "
+              << stats.cache_evictions << " evictions, "
+              << stats.cache_superseded << " superseded, "
+              << stats.nodes_expanded << " nodes expanded\n";
+  }
 }
 
 int compile_one_block(BasicBlock block, const Machine& machine,
@@ -193,6 +204,7 @@ int compile_one_block(BasicBlock block, const Machine& machine,
   options.machine = machine;
   options.scheduler = args.scheduler;
   options.search.curtail_lambda = args.lambda;
+  options.search.dominance_cache = args.dominance_cache;
   options.optimize = args.optimize;
   options.reassociate = args.reassociate;
   options.emit.mechanism = args.mechanism;
@@ -217,6 +229,7 @@ int compile_one_block(BasicBlock block, const Machine& machine,
     SplitConfig config;
     config.window_size = args.split_window;
     config.search.curtail_lambda = args.lambda;
+    config.search.dominance_cache = args.dominance_cache;
     const SplitResult result = split_schedule(machine, dag, config);
     const Allocation allocation =
         linear_scan(prepared, result.schedule.order, options.registers);
@@ -289,6 +302,7 @@ int run(int argc, char** argv) {
   options.block.machine = machine;
   options.block.scheduler = args.scheduler;
   options.block.search.curtail_lambda = args.lambda;
+  options.block.search.dominance_cache = args.dominance_cache;
   options.block.optimize = args.optimize;
   options.block.reassociate = args.reassociate;
   options.block.emit.mechanism = args.mechanism;
