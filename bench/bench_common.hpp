@@ -30,7 +30,8 @@ inline int corpus_runs(int fallback = 16000) {
 /// The paper's experiment configuration: Tables 4-5 machine, curtail point
 /// "large relative to the number searched for an average block" (the
 /// average completed search needs a few hundred placements). Overridable
-/// via PS_LAMBDA for calibration runs.
+/// via PS_LAMBDA for calibration runs; PS_DEADLINE (seconds, fractional
+/// allowed) adds a wall-clock budget per search on top of lambda.
 inline CorpusRunOptions paper_run_options(std::uint64_t lambda = 50000) {
   if (const char* env = std::getenv("PS_LAMBDA")) {
     const long long parsed = std::atoll(env);
@@ -39,6 +40,10 @@ inline CorpusRunOptions paper_run_options(std::uint64_t lambda = 50000) {
   CorpusRunOptions options;
   options.machine = Machine::paper_simulation();
   options.search.curtail_lambda = lambda;
+  if (const char* env = std::getenv("PS_DEADLINE")) {
+    const double parsed = std::atof(env);
+    if (parsed > 0) options.search.deadline_seconds = parsed;
+  }
   // The paper reports using "a number of other heuristics" beyond the
   // rules Section 4.2.3 enumerates; the optimality-preserving critical-
   // path lower bound (verified against exhaustive search in the test

@@ -61,6 +61,18 @@ int main() {
   dump("enumerated_only", "completed", plain.completed);
   dump("enumerated_only", "truncated", plain.truncated);
   dump("enumerated_only", "total", plain.total);
-  std::cout << "CSV written to table7.csv\n";
+
+  // Machine-readable exports: one record per block (for post-processing)
+  // and a single-object roll-up so successive PRs can track the perf
+  // trajectory without parsing tables.
+  write_corpus_jsonl(records, "corpus_records.jsonl");
+  CorpusBenchMeta meta;
+  meta.machine = options.machine.name();
+  meta.curtail_lambda = options.search.curtail_lambda;
+  meta.deadline_seconds = options.search.deadline_seconds;
+  meta.total_wall_seconds = total_seconds;
+  write_corpus_bench_json(summary, meta, "BENCH_corpus.json");
+  std::cout << "CSV written to table7.csv; per-block records in "
+               "corpus_records.jsonl; roll-up in BENCH_corpus.json\n";
   return 0;
 }

@@ -64,7 +64,9 @@ Schedule run_scheduler(SchedulerKind kind, const Machine& machine,
       break;
     }
   }
-  local.best_nops = schedule.total_nops();
+  // An infeasible constrained search has no meaningful best cost — keep
+  // the scheduler's -1 sentinel instead of the infeasible seed's count.
+  if (local.feasible) local.best_nops = schedule.total_nops();
   if (kind != SchedulerKind::Optimal) local.initial_nops = local.best_nops;
   local.seconds = wall.seconds();
   if (stats) *stats = local;

@@ -1,6 +1,7 @@
 #include "sched/optimal_scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <optional>
 
@@ -118,6 +119,14 @@ class Search {
 
   OptimalResult run() {
     Timer wall;
+    if (config_.deadline_seconds > 0) {
+      has_deadline_ = true;
+      deadline_at_ = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(
+                             config_.deadline_seconds));
+    }
     OptimalResult result;
 
     // Step [1]: evaluate the seed schedule; it becomes the incumbent pi.
@@ -172,7 +181,11 @@ class Search {
     best_schedule_ = &result.best;
     stats_ = &result.stats;
     if (n_ > 0 && best_nops_ > 0) descend();
-    result.stats.best_nops = result.best.total_nops();
+    // An infeasible search found no schedule within the pressure ceiling;
+    // `best` is still the (infeasible) seed, kept for diagnostics, but the
+    // reported cost must not look like a real optimum.
+    result.stats.best_nops =
+        result.stats.feasible ? result.best.total_nops() : -1;
     if (cache_) {
       const DominanceCacheStats& cs = cache_->stats();
       result.stats.cache_probes = cs.probes;
@@ -180,6 +193,7 @@ class Search {
       result.stats.cache_misses = cs.misses;
       result.stats.cache_evictions = cs.evictions;
       result.stats.cache_superseded = cs.superseded;
+      result.stats.pruned_dominance = cs.hits;
     }
     result.stats.seconds = wall.seconds();
     return result;
@@ -187,8 +201,18 @@ class Search {
 
  private:
   bool curtailed() const {
-    return config_.curtail_lambda != 0 &&
-           stats_->omega_calls >= config_.curtail_lambda;
+    return deadline_expired_ ||
+           (config_.curtail_lambda != 0 &&
+            stats_->omega_calls >= config_.curtail_lambda);
+  }
+
+  /// Mark the search truncated and record which budget fired. The
+  /// deadline takes precedence: once the clock has expired, lambda no
+  /// longer describes why we stopped.
+  void record_curtail() {
+    stats_->completed = false;
+    stats_->curtail_reason = deadline_expired_ ? CurtailReason::Deadline
+                                               : CurtailReason::Lambda;
   }
 
   /// Admissible lower bound on the final issue cycle of any completion of
@@ -330,6 +354,13 @@ class Search {
 
   void descend() {
     ++stats_->nodes_expanded;
+    // Amortized wall-clock check: one steady_clock read per ~1024 node
+    // expansions keeps the deadline branch out of the hot loop's profile.
+    if (has_deadline_ && !deadline_expired_ &&
+        (stats_->nodes_expanded & 1023u) == 0 &&
+        std::chrono::steady_clock::now() >= deadline_at_) {
+      deadline_expired_ = true;
+    }
     if (timer_.depth() == n_) {
       ++stats_->schedules_examined;
       stats_->feasible = true;
@@ -382,19 +413,29 @@ class Search {
 
     for (TupleIndex candidate : candidates_by_seed_) {
       if (curtailed()) {
-        stats_->completed = false;
+        record_curtail();
         return;
       }
       if (timer_.is_placed(candidate)) continue;
       if (unplaced_preds_[static_cast<std::size_t>(candidate)] != 0) {
-        continue;  // rule [5b]
+        ++stats_->pruned_readiness;  // rule [5b]
+        continue;
       }
-      if (forced >= 0 && candidate != forced) continue;
-      if (pressure_blocks(candidate)) continue;
+      if (forced >= 0 && candidate != forced) {
+        ++stats_->pruned_window;  // rule [5a]
+        continue;
+      }
+      if (pressure_blocks(candidate)) {
+        ++stats_->pruned_pressure;
+        continue;
+      }
 
       if (config_.equivalence_prune) {
         const int cls = classes_[static_cast<std::size_t>(candidate)];
-        if (tried_classes[static_cast<std::size_t>(cls)]) continue;
+        if (tried_classes[static_cast<std::size_t>(cls)]) {
+          ++stats_->pruned_equivalence;  // rule [5c]
+          continue;
+        }
         tried_classes[static_cast<std::size_t>(cls)] = true;
       }
 
@@ -406,7 +447,7 @@ class Search {
       const std::size_t branches = groups.empty() ? 1 : groups.size();
       for (std::size_t g = 0; g < branches; ++g) {
         if (curtailed()) {
-          stats_->completed = false;
+          record_curtail();
           return;
         }
         ++stats_->omega_calls;
@@ -424,10 +465,12 @@ class Search {
         bool keep = true;
         if (config_.alpha_beta && timer_.total_nops() >= best_nops_) {
           keep = false;  // rule [6]
+          ++stats_->pruned_alpha_beta;
         }
         if (keep && config_.lower_bound_prune &&
             completion_lower_bound() - static_cast<int>(n_) >= best_nops_) {
           keep = false;
+          ++stats_->pruned_lower_bound;
         }
         if (keep) descend();
 
@@ -461,6 +504,9 @@ class Search {
   std::vector<int> live_before_stack_;
   ZobristKeys zobrist_;
   std::optional<DominanceCache> cache_;
+  std::chrono::steady_clock::time_point deadline_at_{};
+  bool has_deadline_ = false;
+  bool deadline_expired_ = false;
   std::uint64_t scheduled_hash_ = 0;
   int live_ = 0;
   int best_nops_ = 0;

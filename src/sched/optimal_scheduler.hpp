@@ -44,7 +44,10 @@
 // The curtail point lambda (Section 2.3) bounds worst-case compile time:
 // the search stops after lambda candidate placements (the paper's Lambda
 // counter of step [4]) and reports the best schedule found so far, flagged
-// possibly-suboptimal.
+// possibly-suboptimal. Lambda counts machine-relative work; the optional
+// wall-clock deadline (SearchConfig::deadline_seconds, an extension)
+// bounds real time the same way — incumbent kept, completed=false — with
+// SearchStats::curtail_reason distinguishing which budget expired.
 #pragma once
 
 #include <cstddef>
@@ -58,6 +61,15 @@ namespace pipesched {
 struct SearchConfig {
   /// Maximum candidate placements (Lambda limit); 0 = search to exhaustion.
   std::uint64_t curtail_lambda = 1000;
+
+  /// Wall-clock budget in seconds (0 = none). Lambda bounds *machine-
+  /// relative* work; this bounds real time, which is what batch compile
+  /// farms actually budget. Expiry curtails exactly like lambda — the
+  /// incumbent is kept, completed=false — and SearchStats::curtail_reason
+  /// records which budget fired. The clock (steady_clock) is sampled every
+  /// ~1024 node expansions, so the hot loop stays branch-cheap and the
+  /// effective deadline overshoots by at most one check interval.
+  double deadline_seconds = 0;
 
   bool alpha_beta = true;             ///< rule [6]
   bool equivalence_prune = true;      ///< rule [5c], paper form
@@ -89,6 +101,11 @@ struct SearchConfig {
 };
 
 struct OptimalResult {
+  /// Best schedule found. When stats.feasible is false (pressure-
+  /// constrained search with no feasible completion) this is the
+  /// *infeasible* seed schedule, returned for diagnostics only —
+  /// stats.best_nops is -1 in that case and callers must not treat the
+  /// schedule as a usable result.
   Schedule best;
   SearchStats stats;
 };

@@ -8,6 +8,18 @@
 
 namespace pipesched {
 
+const char* curtail_reason_name(CurtailReason reason) {
+  switch (reason) {
+    case CurtailReason::None:
+      return "none";
+    case CurtailReason::Lambda:
+      return "lambda";
+    case CurtailReason::Deadline:
+      return "deadline";
+  }
+  return "?";
+}
+
 int Schedule::total_nops() const {
   return std::accumulate(nops.begin(), nops.end(), 0);
 }

@@ -37,6 +37,13 @@ struct Schedule {
   std::string to_string(const BasicBlock& block, const Machine& machine) const;
 };
 
+/// Why a search stopped before exhausting its space (stats.completed ==
+/// false). Lambda is the paper's curtail point (Section 2.3); Deadline is
+/// the wall-clock budget extension (SearchConfig::deadline_seconds).
+enum class CurtailReason { None, Lambda, Deadline };
+
+const char* curtail_reason_name(CurtailReason reason);
+
 /// Statistics from one scheduler invocation. Field names follow the
 /// paper's Section 4.2.3 terminology.
 struct SearchStats {
@@ -49,17 +56,40 @@ struct SearchStats {
   std::uint64_t schedules_examined = 0;
 
   /// True when the search space was exhausted (termination condition [1]:
-  /// result provably optimal); false when the curtail point truncated it
-  /// (condition [2]: possibly suboptimal).
+  /// result provably optimal); false when the curtail point or the
+  /// wall-clock deadline truncated it (condition [2]: possibly
+  /// suboptimal). `curtail_reason` says which budget expired.
   bool completed = true;
+  CurtailReason curtail_reason = CurtailReason::None;
 
   /// NOPs of the seed (list) schedule and of the best schedule found.
+  /// best_nops is -1 when `feasible` is false: no schedule within the
+  /// pressure ceiling exists, so there is no meaningful cost to report.
   int initial_nops = 0;
   int best_nops = 0;
 
   /// With a register-pressure ceiling: whether a complete schedule within
   /// the ceiling was found (true for unconstrained searches).
   bool feasible = true;
+
+  /// Branches killed per pruning rule (numbering follows the header
+  /// comment of optimal_scheduler.hpp). Each counter is one candidate
+  /// placement (or subtree) that was skipped because the rule fired:
+  ///   window [5a]       candidates displaced by a forced-position slot;
+  ///   readiness [5b]    candidates with unplaced predecessors;
+  ///   equivalence [5c]  candidates whose class was already tried here;
+  ///   alpha-beta [6]    partials already costing >= the incumbent;
+  ///   lower bound       partials whose admissible completion bound lost;
+  ///   dominance         subtrees cut by the transposition cache (always
+  ///                     equals cache_hits; duplicated for uniformity);
+  ///   pressure          candidates barred by the register ceiling.
+  std::uint64_t pruned_window = 0;
+  std::uint64_t pruned_readiness = 0;
+  std::uint64_t pruned_equivalence = 0;
+  std::uint64_t pruned_alpha_beta = 0;
+  std::uint64_t pruned_lower_bound = 0;
+  std::uint64_t pruned_dominance = 0;
+  std::uint64_t pruned_pressure = 0;
 
   /// Search-tree nodes expanded (descents into a partial schedule,
   /// including the root and complete leaves). With the dominance cache

@@ -1,5 +1,7 @@
 #include "util/csv.hpp"
 
+#include <cstdio>
+
 #include "util/check.hpp"
 
 namespace pipesched {
@@ -8,12 +10,35 @@ CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
   PS_CHECK(out_.good(), "cannot open CSV output file: " << path);
 }
 
+CsvWriter::~CsvWriter() {
+  if (closed_) return;
+  out_.flush();
+  if (!out_.good()) {
+    std::fprintf(stderr, "pipesched: warning: write failure on %s\n",
+                 path_.c_str());
+  }
+}
+
 void CsvWriter::row(const std::vector<std::string>& cells) {
+  PS_CHECK(!closed_, "CSV writer already closed: " << path_);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i) out_ << ',';
     out_ << quote(cells[i]);
   }
   out_ << '\n';
+  PS_CHECK(out_.good(), "write failure on CSV output file: " << path_);
+}
+
+void CsvWriter::flush() {
+  out_.flush();
+  PS_CHECK(out_.good(), "write failure on CSV output file: " << path_);
+}
+
+void CsvWriter::close() {
+  flush();
+  out_.close();
+  closed_ = true;
+  PS_CHECK(!out_.fail(), "close failure on CSV output file: " << path_);
 }
 
 std::string CsvWriter::quote(const std::string& cell) {
@@ -27,6 +52,117 @@ std::string CsvWriter::quote(const std::string& cell) {
   }
   out += '"';
   return out;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+JsonlWriter::JsonlWriter(const std::string& path) : path_(path), out_(path) {
+  PS_CHECK(out_.good(), "cannot open JSONL output file: " << path);
+}
+
+JsonlWriter::~JsonlWriter() {
+  if (closed_) return;
+  out_.flush();
+  if (!out_.good()) {
+    std::fprintf(stderr, "pipesched: warning: write failure on %s\n",
+                 path_.c_str());
+  }
+}
+
+void JsonlWriter::begin() {
+  PS_CHECK(!closed_, "JSONL writer already closed: " << path_);
+  PS_ASSERT(!in_object_);
+  out_ << '{';
+  in_object_ = true;
+  first_field_ = true;
+}
+
+void JsonlWriter::field_raw(const std::string& key,
+                            const std::string& rendered) {
+  PS_ASSERT(in_object_);
+  if (!first_field_) out_ << ',';
+  first_field_ = false;
+  out_ << json_quote(key) << ':' << rendered;
+}
+
+void JsonlWriter::field(const std::string& key, const std::string& value) {
+  field_raw(key, json_quote(value));
+}
+
+void JsonlWriter::field(const std::string& key, const char* value) {
+  field_raw(key, json_quote(value));
+}
+
+void JsonlWriter::field(const std::string& key, bool value) {
+  field_raw(key, value ? "true" : "false");
+}
+
+void JsonlWriter::field(const std::string& key, double value) {
+  std::ostringstream oss;
+  oss << value;
+  field_raw(key, oss.str());
+}
+
+void JsonlWriter::field(const std::string& key, std::int64_t value) {
+  field_raw(key, std::to_string(value));
+}
+
+void JsonlWriter::field(const std::string& key, std::uint64_t value) {
+  field_raw(key, std::to_string(value));
+}
+
+void JsonlWriter::field(const std::string& key, int value) {
+  field_raw(key, std::to_string(value));
+}
+
+void JsonlWriter::end() {
+  PS_ASSERT(in_object_);
+  out_ << "}\n";
+  in_object_ = false;
+  PS_CHECK(out_.good(), "write failure on JSONL output file: " << path_);
+}
+
+void JsonlWriter::flush() {
+  out_.flush();
+  PS_CHECK(out_.good(), "write failure on JSONL output file: " << path_);
+}
+
+void JsonlWriter::close() {
+  flush();
+  out_.close();
+  closed_ = true;
+  PS_CHECK(!out_.fail(), "close failure on JSONL output file: " << path_);
 }
 
 }  // namespace pipesched

@@ -1,7 +1,14 @@
-// Minimal CSV writer. Every bench binary mirrors its printed table into a
-// CSV file so results can be post-processed without re-running.
+// Minimal CSV and JSON-lines writers. Every bench binary mirrors its
+// printed table into a CSV file so results can be post-processed without
+// re-running; the corpus runner additionally exports per-block records as
+// JSONL for machine consumption.
+//
+// Both writers fail loudly: the stream state is checked after every row
+// and on flush()/close(), so a full disk truncates an export with an
+// exception instead of silently dropping rows.
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -15,7 +22,11 @@ class CsvWriter {
   /// Opens (truncates) `path`. Throws pipesched::Error on failure.
   explicit CsvWriter(const std::string& path);
 
-  /// Write a header or data row.
+  /// Destructor flushes; a failure at that point can only warn on stderr
+  /// (call close() explicitly to get the exception).
+  ~CsvWriter();
+
+  /// Write a header or data row. Throws Error if the stream went bad.
   void row(const std::vector<std::string>& cells);
 
   /// Convenience: stringify each cell with operator<<.
@@ -25,6 +36,14 @@ class CsvWriter {
     (out.push_back(to_cell(cells)), ...);
     row(out);
   }
+
+  /// Flush buffered rows; throws Error if the underlying write failed
+  /// (e.g. disk full).
+  void flush();
+
+  /// Flush and close; throws Error on any pending write failure. The
+  /// writer is unusable afterwards.
+  void close();
 
   const std::string& path() const { return path_; }
 
@@ -40,6 +59,45 @@ class CsvWriter {
 
   std::string path_;
   std::ofstream out_;
+  bool closed_ = false;
 };
+
+/// JSON-lines writer: one flat JSON object per record. Usage:
+///   JsonlWriter out(path);
+///   out.begin(); out.field("n", 3); out.field("name", "x"); out.end();
+/// Same loud-failure contract as CsvWriter.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(const std::string& path);
+  ~JsonlWriter();
+
+  void begin();                                     ///< open an object
+  void field(const std::string& key, const std::string& value);
+  void field(const std::string& key, const char* value);
+  void field(const std::string& key, bool value);
+  void field(const std::string& key, double value);
+  void field(const std::string& key, std::int64_t value);
+  void field(const std::string& key, std::uint64_t value);
+  void field(const std::string& key, int value);
+  /// Emit an already-rendered JSON value (number, true/false, null)
+  /// verbatim — for callers that pre-stringify their fields.
+  void field_raw(const std::string& key, const std::string& rendered);
+  void end();                                       ///< close + newline
+
+  void flush();
+  void close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  bool in_object_ = false;
+  bool first_field_ = true;
+  bool closed_ = false;
+};
+
+/// Quote + escape `s` as a JSON string literal (including the quotes).
+std::string json_quote(const std::string& s);
 
 }  // namespace pipesched

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 #include "util/check.hpp"
 
@@ -68,13 +69,31 @@ void parallel_for_each(ThreadPool& pool, std::size_t count,
   // per-index queue overhead.
   const std::size_t chunks = std::min(count, pool.thread_count() * 8);
   const std::size_t chunk_size = (count + chunks - 1) / chunks;
+
+  // A worker exception must not std::terminate the process (a single bad
+  // block would destroy a whole corpus run): capture the first one and
+  // rethrow it on the submitting thread once the pool is idle. Chunks
+  // that start after a failure bail out immediately — their indices are
+  // abandoned, which is fine because the batch as a whole throws.
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
+
   for (std::size_t begin = 0; begin < count; begin += chunk_size) {
     const std::size_t end = std::min(begin + chunk_size, count);
-    pool.submit([begin, end, &fn] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+    pool.submit([begin, end, &fn, &error_mutex, &first_error, &failed] {
+      if (failed.load(std::memory_order_relaxed)) return;
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
     });
   }
   pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace pipesched

@@ -29,7 +29,9 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
-  /// Enqueue a task. Tasks must not throw; exceptions terminate.
+  /// Enqueue a task. Tasks must not throw (an escaping exception
+  /// terminates); parallel_for_each wraps its chunks so user callbacks
+  /// may throw safely.
   void submit(std::function<void()> task);
 
   /// Block until every submitted task has finished.
@@ -49,6 +51,9 @@ class ThreadPool {
 
 /// Run fn(i) for every i in [0, count), chunked across `pool`.
 /// fn must only touch per-index state (or synchronize internally).
+/// If fn throws, the first exception (by completion order) is rethrown on
+/// the calling thread after all in-flight work drains; chunks not yet
+/// started are abandoned. The pool itself stays usable afterwards.
 void parallel_for_each(ThreadPool& pool, std::size_t count,
                        const std::function<void(std::size_t)>& fn);
 

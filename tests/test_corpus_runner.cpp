@@ -1,0 +1,336 @@
+// Robustness and observability of the corpus harness and the search's
+// wall-clock deadline:
+//   * a per-block fault must not destroy the batch — the failed block gets
+//     an error record plus a `--tuples` reproducer dump, the rest survive;
+//   * corpus results are deterministic across thread counts (all record
+//     fields except wall-clock seconds);
+//   * deadline expiry curtails like lambda: completed=false, the curtail
+//     reason is recorded, and the incumbent is a simulator-valid schedule;
+//   * the CSV/JSONL per-block exports and the BENCH_corpus.json roll-up
+//     are written and internally consistent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/corpus_runner.hpp"
+#include "ir/block_parser.hpp"
+#include "ir/dag.hpp"
+#include "sim/simulator.hpp"
+#include "synth/generator.hpp"
+#include "util/check.hpp"
+
+namespace pipesched {
+namespace {
+
+std::vector<GeneratorParams> small_corpus(int count, int statements = 8) {
+  std::vector<GeneratorParams> params;
+  for (int i = 0; i < count; ++i) {
+    GeneratorParams p;
+    p.statements = statements;
+    p.variables = 4;
+    p.constants = 2;
+    p.seed = 100 + static_cast<std::uint64_t>(i);
+    params.push_back(p);
+  }
+  return params;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+/// Every deterministic field (seconds is wall-clock and excluded).
+void expect_records_equal(const RunRecord& a, const RunRecord& b,
+                          std::size_t index) {
+  EXPECT_EQ(a.block_size, b.block_size) << index;
+  EXPECT_EQ(a.initial_nops, b.initial_nops) << index;
+  EXPECT_EQ(a.final_nops, b.final_nops) << index;
+  EXPECT_EQ(a.omega_calls, b.omega_calls) << index;
+  EXPECT_EQ(a.schedules_examined, b.schedules_examined) << index;
+  EXPECT_EQ(a.nodes_expanded, b.nodes_expanded) << index;
+  EXPECT_EQ(a.cache_probes, b.cache_probes) << index;
+  EXPECT_EQ(a.cache_hits, b.cache_hits) << index;
+  EXPECT_EQ(a.cache_evictions, b.cache_evictions) << index;
+  EXPECT_EQ(a.cache_superseded, b.cache_superseded) << index;
+  EXPECT_EQ(a.completed, b.completed) << index;
+  EXPECT_EQ(a.curtail_reason, b.curtail_reason) << index;
+  EXPECT_EQ(a.feasible, b.feasible) << index;
+  EXPECT_EQ(a.pruned_window, b.pruned_window) << index;
+  EXPECT_EQ(a.pruned_readiness, b.pruned_readiness) << index;
+  EXPECT_EQ(a.pruned_equivalence, b.pruned_equivalence) << index;
+  EXPECT_EQ(a.pruned_alpha_beta, b.pruned_alpha_beta) << index;
+  EXPECT_EQ(a.pruned_lower_bound, b.pruned_lower_bound) << index;
+  EXPECT_EQ(a.pruned_dominance, b.pruned_dominance) << index;
+  EXPECT_EQ(a.pruned_pressure, b.pruned_pressure) << index;
+  EXPECT_EQ(a.error, b.error) << index;
+}
+
+TEST(CorpusRunner, FaultInjectionKeepsOtherRecords) {
+  const auto params = small_corpus(24);
+  const std::string prefix =
+      (std::filesystem::path(testing::TempDir()) / "ps_repro_").string();
+
+  CorpusRunOptions options;
+  options.search.curtail_lambda = 2000;
+  options.threads = 4;
+  options.reproducer_prefix = prefix;
+  options.fault_hook = [](std::size_t i, const BasicBlock&) {
+    if (i == 7) throw Error("injected fault for testing");
+  };
+
+  const std::vector<RunRecord> records = run_corpus(params, options);
+  ASSERT_EQ(records.size(), params.size());
+
+  EXPECT_NE(records[7].error.find("injected fault"), std::string::npos);
+  EXPECT_FALSE(records[7].completed);
+  ASSERT_FALSE(records[7].reproducer.empty());
+  EXPECT_TRUE(std::filesystem::exists(records[7].reproducer));
+
+  // The reproducer must round-trip through the --tuples parser into the
+  // exact block that failed.
+  const BasicBlock replayed = parse_block(slurp(records[7].reproducer));
+  EXPECT_EQ(replayed.size(), static_cast<std::size_t>(records[7].block_size));
+  EXPECT_EQ(replayed.to_string(),
+            generate_block(params[7]).to_string());
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i == 7) continue;
+    EXPECT_TRUE(records[i].error.empty()) << i;
+    EXPECT_GT(records[i].block_size, 0) << i;
+    // A zero-NOP list-schedule seed can satisfy the search before a single
+    // omega call, so only the result fields are guaranteed populated.
+    EXPECT_TRUE(records[i].feasible) << i;
+    EXPECT_GE(records[i].final_nops, 0) << i;
+  }
+
+  const CorpusSummary summary = summarize_corpus(records);
+  EXPECT_EQ(summary.total.errors, 1u);
+  EXPECT_EQ(summary.completed.runs + summary.truncated.runs + 1,
+            records.size());
+  std::filesystem::remove(records[7].reproducer);
+}
+
+TEST(CorpusRunner, DeterministicAcrossThreadCounts) {
+  const auto params = small_corpus(16);
+  CorpusRunOptions serial;
+  serial.search.curtail_lambda = 2000;
+  serial.threads = 1;
+  CorpusRunOptions parallel = serial;
+  parallel.threads = 4;
+
+  const auto a = run_corpus(params, serial);
+  const auto b = run_corpus(params, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_records_equal(a[i], b[i], i);
+  }
+}
+
+/// A block whose optimum is several NOPs above zero (seed 31337 under the
+/// paper machine), so the search cannot short-circuit on a perfect seed.
+BasicBlock huge_block() {
+  GeneratorParams params;
+  params.statements = 40;
+  params.variables = 8;
+  params.constants = 3;
+  params.seed = 31337;
+  BasicBlock block = generate_block(params);
+  PS_CHECK(block.size() >= 20, "generator produced a degenerate block");
+  return block;
+}
+
+/// With every prune disabled the search over huge_block() enumerates
+/// hundreds of thousands of nodes — plenty for a deadline to interrupt.
+SearchConfig explosive_config() {
+  SearchConfig config;
+  config.curtail_lambda = 0;  // lambda off: only the clock can stop us
+  config.alpha_beta = false;
+  config.equivalence_prune = false;
+  config.window_prune = false;
+  config.dominance_cache = false;
+  return config;
+}
+
+TEST(Deadline, TinyDeadlineCurtailsWithValidIncumbent) {
+  const Machine machine = Machine::paper_simulation();
+  const BasicBlock block = huge_block();
+  const DepGraph dag(block);
+
+  SearchConfig config = explosive_config();
+  config.deadline_seconds = 1e-9;
+  const OptimalResult result = optimal_schedule(machine, dag, config);
+
+  EXPECT_FALSE(result.stats.completed);
+  EXPECT_EQ(result.stats.curtail_reason, CurtailReason::Deadline);
+  EXPECT_TRUE(result.stats.feasible);
+
+  // The incumbent must still be a complete, simulator-valid schedule.
+  ASSERT_EQ(result.best.size(), block.size());
+  EXPECT_TRUE(dag.is_legal_order(result.best.order));
+  const SimResult sim = validate_padded(machine, dag, result.best);
+  EXPECT_TRUE(sim.ok) << sim.error;
+  EXPECT_EQ(result.stats.best_nops, result.best.total_nops());
+  EXPECT_LE(result.stats.best_nops, result.stats.initial_nops);
+}
+
+TEST(Deadline, LambdaAndNoneReasonsRecorded) {
+  const Machine machine = Machine::paper_simulation();
+  const BasicBlock block = huge_block();
+  const DepGraph dag(block);
+
+  SearchConfig lambda_only;
+  lambda_only.curtail_lambda = 500;
+  const OptimalResult curtailed =
+      optimal_schedule(machine, dag, lambda_only);
+  EXPECT_FALSE(curtailed.stats.completed);
+  EXPECT_EQ(curtailed.stats.curtail_reason, CurtailReason::Lambda);
+
+  // A search that exhausts its space reports no curtail reason.
+  GeneratorParams small;
+  small.statements = 3;
+  small.variables = 3;
+  small.seed = 9;
+  const BasicBlock tiny = generate_block(small);
+  ASSERT_FALSE(tiny.empty());
+  const DepGraph tiny_dag(tiny);
+  SearchConfig unlimited;
+  unlimited.curtail_lambda = 0;
+  const OptimalResult full = optimal_schedule(machine, tiny_dag, unlimited);
+  EXPECT_TRUE(full.stats.completed);
+  EXPECT_EQ(full.stats.curtail_reason, CurtailReason::None);
+}
+
+TEST(Deadline, GenerousDeadlineDoesNotPerturbSearch) {
+  // With a deadline that cannot fire, counters and the optimum must be
+  // identical to the no-deadline run — the clock check is observation
+  // only.
+  const Machine machine = Machine::paper_simulation();
+  const auto params = small_corpus(8);
+  CorpusRunOptions plain;
+  plain.search.curtail_lambda = 2000;
+  plain.threads = 2;
+  CorpusRunOptions timed = plain;
+  timed.search.deadline_seconds = 3600.0;
+
+  const auto a = run_corpus(params, plain);
+  const auto b = run_corpus(params, timed);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_records_equal(a[i], b[i], i);
+  }
+}
+
+TEST(CorpusRunner, PruneCountersAreLiveAndSummarized) {
+  const auto params = small_corpus(12);
+  CorpusRunOptions options;
+  options.search.curtail_lambda = 2000;
+  options.threads = 2;
+  const auto records = run_corpus(params, options);
+
+  std::uint64_t ab = 0, ready = 0, dominance = 0, hits = 0;
+  for (const RunRecord& r : records) {
+    ab += r.pruned_alpha_beta;
+    ready += r.pruned_readiness;
+    dominance += r.pruned_dominance;
+    hits += r.cache_hits;
+  }
+  EXPECT_GT(ab, 0u);
+  EXPECT_GT(ready, 0u);
+  EXPECT_EQ(dominance, hits);  // duplicated counter must stay in lock-step
+
+  const CorpusSummary summary = summarize_corpus(records);
+  EXPECT_GT(summary.total.avg_pruned_alpha_beta, 0.0);
+  EXPECT_GT(summary.total.avg_pruned_readiness, 0.0);
+  const std::string rendered = render_corpus_summary(summary);
+  EXPECT_NE(rendered.find("Alpha-Beta Prunes"), std::string::npos);
+  EXPECT_NE(rendered.find("Curtailed (deadline)"), std::string::npos);
+  EXPECT_NE(rendered.find("Errored Blocks"), std::string::npos);
+}
+
+TEST(CorpusRunner, ExportsAndRollupSurviveFaultAndDeadline) {
+  // The acceptance scenario: a corpus run with a wall-clock deadline and
+  // an injected per-block fault must finish, report the error row, and
+  // write valid CSV + JSONL + BENCH roll-up.
+  const auto params = small_corpus(16, 14);
+  const std::filesystem::path dir(testing::TempDir());
+
+  CorpusRunOptions options;
+  options.search.curtail_lambda = 0;
+  options.search.deadline_seconds = 0.02;
+  options.threads = 4;
+  options.reproducer_prefix = (dir / "ps_export_repro_").string();
+  options.fault_hook = [](std::size_t i, const BasicBlock&) {
+    if (i == 3) throw Error("injected export fault");
+  };
+
+  const auto records = run_corpus(params, options);
+  ASSERT_EQ(records.size(), params.size());
+  EXPECT_FALSE(records[3].error.empty());
+
+  // Any block the deadline curtailed must still carry a valid incumbent.
+  const Machine machine = Machine::paper_simulation();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i == 3 || records[i].completed) continue;
+    EXPECT_EQ(records[i].curtail_reason, CurtailReason::Deadline) << i;
+    const BasicBlock block = generate_block(params[i]);
+    const DepGraph dag(block);
+    SearchConfig config = options.search;
+    const OptimalResult redo = optimal_schedule(machine, dag, config);
+    EXPECT_TRUE(validate_padded(machine, dag, redo.best).ok) << i;
+  }
+
+  const std::string csv_path = (dir / "ps_export.csv").string();
+  const std::string jsonl_path = (dir / "ps_export.jsonl").string();
+  const std::string bench_path = (dir / "ps_BENCH_corpus.json").string();
+  write_corpus_csv(records, csv_path);
+  write_corpus_jsonl(records, jsonl_path);
+
+  const CorpusSummary summary = summarize_corpus(records);
+  CorpusBenchMeta meta;
+  meta.machine = machine.name();
+  meta.curtail_lambda = options.search.curtail_lambda;
+  meta.deadline_seconds = options.search.deadline_seconds;
+  meta.total_wall_seconds = 1.0;
+  write_corpus_bench_json(summary, meta, bench_path);
+
+  const std::string csv = slurp(csv_path);
+  const std::string jsonl = slurp(jsonl_path);
+  const std::string bench = slurp(bench_path);
+
+  // CSV: header + one line per record; the error row carries the message.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            records.size() + 1);
+  EXPECT_NE(csv.find("curtail_reason"), std::string::npos);
+  EXPECT_NE(csv.find("injected export fault"), std::string::npos);
+
+  // JSONL: one object per record, fields present and quoted correctly.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(jsonl.begin(), jsonl.end(), '\n')),
+            records.size());
+  EXPECT_NE(jsonl.find("\"error\":\"injected export fault\""),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"pruned_alpha_beta\":"), std::string::npos);
+
+  // Roll-up: the three columns and the deadline metadata.
+  EXPECT_NE(bench.find("\"deadline_seconds\""), std::string::npos);
+  EXPECT_NE(bench.find("\"completed\""), std::string::npos);
+  EXPECT_NE(bench.find("\"truncated\""), std::string::npos);
+  EXPECT_NE(bench.find("\"errors\""), std::string::npos);
+
+  for (const std::string& p : {csv_path, jsonl_path, bench_path}) {
+    std::filesystem::remove(p);
+  }
+  for (const RunRecord& r : records) {
+    if (!r.reproducer.empty()) std::filesystem::remove(r.reproducer);
+  }
+}
+
+}  // namespace
+}  // namespace pipesched

@@ -120,6 +120,46 @@ TEST(Pressure, TighterLimitNeverReducesNops) {
   }
 }
 
+TEST(Pressure, InfeasibleSearchDoesNotMasqueradeAsOptimal) {
+  // Regression: an infeasible constrained search used to return the
+  // pressure-infeasible seed schedule with its finite NOP count in
+  // stats.best_nops, indistinguishable from a real optimum. Four values
+  // must be simultaneously live here, so a ceiling of 2 is infeasible
+  // for any order.
+  const BasicBlock block = parse_block(
+      "1: Load #a\n"
+      "2: Load #b\n"
+      "3: Load #c\n"
+      "4: Add 1, 2\n"
+      "5: Add 4, 3\n"
+      "6: Store #x, 5\n");
+  const DepGraph dag(block);
+  SearchConfig config;
+  config.curtail_lambda = 0;
+  config.max_live_registers = 2;
+  const OptimalResult result =
+      optimal_schedule(Machine::paper_simulation(), dag, config);
+  EXPECT_FALSE(result.stats.feasible);
+  EXPECT_EQ(result.stats.best_nops, -1);
+
+  // run_scheduler must preserve the sentinel instead of re-deriving a
+  // finite cost from the diagnostic seed schedule.
+  SearchStats stats;
+  run_scheduler(SchedulerKind::Optimal, Machine::paper_simulation(), dag,
+                config, &stats);
+  EXPECT_FALSE(stats.feasible);
+  EXPECT_EQ(stats.best_nops, -1);
+
+  // The register-limited driver recovers via the post-spill original
+  // order: feasibility is surfaced, and its reported cost is real.
+  CompileOptions options;
+  options.registers = 4;
+  const RegisterLimitedResult compiled =
+      compile_with_register_limit(block, options);
+  EXPECT_GE(compiled.compiled.stats.best_nops, 0);
+  EXPECT_FALSE(compiled.compiled.assembly.empty());
+}
+
 TEST(Spill, BlockMaxLiveMatchesRangeAnalysis) {
   const BasicBlock block = parse_block(
       "1: Load #a\n"

@@ -7,6 +7,7 @@
 
 #include "util/ascii_chart.hpp"
 #include "util/bitset.hpp"
+#include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -173,6 +174,64 @@ TEST(Csv, QuotesSpecialCharacters) {
   std::filesystem::remove(path);
 }
 
+TEST(Csv, FlushDetectsWriteFailure) {
+  // /dev/full accepts the open but fails every physical write — the
+  // classic disk-full simulation. Skip on systems without it.
+  if (!std::filesystem::exists("/dev/full")) GTEST_SKIP();
+  CsvWriter csv("/dev/full");
+  // The stream buffers, so rows may appear to succeed; flush() must not.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100000; ++i) csv.row({"some", "cells", "here"});
+        csv.flush();
+      },
+      Error);
+}
+
+TEST(Csv, CloseReportsCleanWrite) {
+  const std::string path = "test_util_close.csv";
+  CsvWriter csv(path);
+  csv.row({"a", "b"});
+  EXPECT_NO_THROW(csv.close());
+  std::filesystem::remove(path);
+}
+
+TEST(Jsonl, WritesOneObjectPerLine) {
+  const std::string path = "test_util_out.jsonl";
+  {
+    JsonlWriter out(path);
+    out.begin();
+    out.field("name", "a\"b\nc");
+    out.field("count", std::uint64_t{42});
+    out.field("ok", true);
+    out.field_raw("ratio", "0.5");
+    out.end();
+    out.close();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line,
+            "{\"name\":\"a\\\"b\\nc\",\"count\":42,\"ok\":true,"
+            "\"ratio\":0.5}");
+  std::filesystem::remove(path);
+}
+
+TEST(Jsonl, FlushDetectsWriteFailure) {
+  if (!std::filesystem::exists("/dev/full")) GTEST_SKIP();
+  JsonlWriter out("/dev/full");
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100000; ++i) {
+          out.begin();
+          out.field("k", i);
+          out.end();
+        }
+        out.flush();
+      },
+      Error);
+}
+
 TEST(ThreadPool, ParallelForCoversAllIndices) {
   ThreadPool pool(4);
   std::vector<int> hits(1000, 0);
@@ -188,6 +247,37 @@ TEST(ThreadPool, ReusableAcrossBatches) {
     parallel_for_each(pool, 50, [&](std::size_t) { ++counter; });
   }
   EXPECT_EQ(counter.load(), 150);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesToCaller) {
+  // Before the fix a throwing worker called std::terminate and took the
+  // whole process down; now the first exception is rethrown on the
+  // calling thread once the batch drains.
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for_each(pool, 64,
+                                 [&](std::size_t i) {
+                                   if (i == 13) {
+                                     throw Error("worker fault");
+                                   }
+                                 }),
+               Error);
+
+  // The pool must survive the failed batch and run later ones normally.
+  std::atomic<int> counter{0};
+  parallel_for_each(pool, 64, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, FirstExceptionWinsWhenManyThrow) {
+  ThreadPool pool(4);
+  try {
+    parallel_for_each(pool, 256, [&](std::size_t i) {
+      throw Error("fault at " + std::to_string(i));
+    });
+    FAIL() << "expected parallel_for_each to rethrow";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("fault at "), std::string::npos);
+  }
 }
 
 TEST(AsciiChart, RendersWithoutCrashing) {

@@ -26,4 +26,21 @@ run_suite build-ci-sanitize \
   -DCMAKE_BUILD_TYPE=Debug \
   -DPIPESCHED_SANITIZE=address,undefined
 
+# Corpus smoke under the sanitizers: the wall-clock deadline and the
+# per-block fault/reproducer paths are timing- and exception-heavy, so
+# exercise them explicitly beyond their unit tests — first the focused
+# tests, then a real (small) corpus run with a deadline tight enough that
+# some searches curtail on the clock.
+echo "==== corpus smoke (sanitized): deadline + fault-injection paths ===="
+./build-ci-sanitize/tests/test_corpus_runner \
+  --gtest_filter='Deadline.*:CorpusRunner.FaultInjectionKeepsOtherRecords:CorpusRunner.ExportsAndRollupSurviveFaultAndDeadline'
+smoke_dir="$(mktemp -d)"
+(cd "${smoke_dir}" && \
+  PS_CORPUS_RUNS=300 PS_DEADLINE=0.0005 \
+  "${OLDPWD}/build-ci-sanitize/bench/bench_table7" > bench_table7_smoke.log)
+grep -q "Curtailed (deadline)" "${smoke_dir}/bench_table7_smoke.log"
+test -s "${smoke_dir}/BENCH_corpus.json"
+test -s "${smoke_dir}/corpus_records.jsonl"
+rm -rf "${smoke_dir}"
+
 echo "==== CI OK: Release and sanitized Debug suites both green ===="

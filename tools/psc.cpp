@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/compiler.hpp"
+#include "core/corpus_runner.hpp"
 #include "core/program_compiler.hpp"
 #include "core/superblock.hpp"
 #include "asmout/emitter.hpp"
@@ -49,6 +50,8 @@ scheduling:
                         exhaustive
   --lambda <N>          curtail point (0 = search to exhaustion;
                         default 50000)
+  --deadline <secs>     wall-clock budget per search (0 = none); expiry
+                        keeps the best schedule found so far, like lambda
   --no-cache            disable the state-dominance (transposition) cache
   --split <W>           schedule straight-line blocks with the Section 5.3
                         window splitter instead of the global search
@@ -65,7 +68,10 @@ output:
   --dump-dag            print the dependence DAG as graphviz dot
   --dump-cfg            print the control-flow graph
   --trace               print the pipeline occupancy trace
-  --stats               print search statistics
+  --stats               print search statistics (incl. per-prune-rule
+                        counters and the curtail reason)
+  --csv <path>          write per-block search records as CSV
+  --jsonl <path>        write per-block search records as JSON lines
   --help
 )";
 
@@ -76,6 +82,7 @@ struct Args {
   std::string machine_file;
   SchedulerKind scheduler = SchedulerKind::Optimal;
   std::uint64_t lambda = 50000;
+  double deadline = 0;
   bool dominance_cache = true;
   int split_window = 0;
   int register_limit = 0;
@@ -89,6 +96,8 @@ struct Args {
   bool dump_cfg = false;
   bool trace = false;
   bool stats = false;
+  std::string csv_path;
+  std::string jsonl_path;
 };
 
 std::string read_input(const std::string& path) {
@@ -142,6 +151,9 @@ Args parse_args(int argc, char** argv) {
       args.scheduler = parse_scheduler(next());
     } else if (arg == "--lambda") {
       args.lambda = std::stoull(next());
+    } else if (arg == "--deadline") {
+      args.deadline = std::stod(next());
+      PS_CHECK(args.deadline >= 0, "--deadline must be non-negative");
     } else if (arg == "--no-cache") {
       args.dominance_cache = false;
     } else if (arg == "--split") {
@@ -172,6 +184,10 @@ Args parse_args(int argc, char** argv) {
       args.trace = true;
     } else if (arg == "--stats") {
       args.stats = true;
+    } else if (arg == "--csv") {
+      args.csv_path = next();
+    } else if (arg == "--jsonl") {
+      args.jsonl_path = next();
     } else if (!arg.empty() && arg[0] == '-') {
       throw Error("unknown option: " + arg + " (see --help)");
     } else {
@@ -185,10 +201,24 @@ Args parse_args(int argc, char** argv) {
 void print_stats(const SearchStats& stats) {
   std::cerr << "; search: " << stats.omega_calls << " placements, "
             << stats.schedules_examined << " complete schedules, "
-            << (stats.completed ? "proven optimal" : "curtailed")
+            << (stats.completed
+                    ? "proven optimal"
+                    : std::string("curtailed (") +
+                          curtail_reason_name(stats.curtail_reason) + ")")
             << ", initial NOPs " << stats.initial_nops << ", final NOPs "
             << stats.best_nops << ", "
             << static_cast<long>(stats.seconds * 1e6) << "us\n";
+  if (!stats.feasible) {
+    std::cerr << "; search: INFEASIBLE — no schedule fits the register "
+                 "ceiling; final NOPs is -1 (not a real optimum)\n";
+  }
+  std::cerr << "; prunes: window [5a] " << stats.pruned_window
+            << ", readiness [5b] " << stats.pruned_readiness
+            << ", equivalence [5c] " << stats.pruned_equivalence
+            << ", alpha-beta [6] " << stats.pruned_alpha_beta
+            << ", lower bound " << stats.pruned_lower_bound
+            << ", dominance " << stats.pruned_dominance << ", pressure "
+            << stats.pruned_pressure << "\n";
   if (stats.cache_probes > 0) {
     std::cerr << "; dominance cache: " << stats.cache_probes << " probes, "
               << stats.cache_hits << " hits (subtrees pruned), "
@@ -198,12 +228,27 @@ void print_stats(const SearchStats& stats) {
   }
 }
 
+/// Write the per-block records (one for straight-line input, one per CFG
+/// block otherwise) in the corpus runner's CSV/JSONL layout.
+void export_records(const Args& args, const std::vector<RunRecord>& records) {
+  if (!args.csv_path.empty()) write_corpus_csv(records, args.csv_path);
+  if (!args.jsonl_path.empty()) write_corpus_jsonl(records, args.jsonl_path);
+}
+
+RunRecord record_of(int block_size, const SearchStats& stats) {
+  RunRecord record;
+  record.block_size = block_size;
+  fill_run_record(record, stats);
+  return record;
+}
+
 int compile_one_block(BasicBlock block, const Machine& machine,
                       const Args& args) {
   CompileOptions options;
   options.machine = machine;
   options.scheduler = args.scheduler;
   options.search.curtail_lambda = args.lambda;
+  options.search.deadline_seconds = args.deadline;
   options.search.dominance_cache = args.dominance_cache;
   options.optimize = args.optimize;
   options.reassociate = args.reassociate;
@@ -214,10 +259,19 @@ int compile_one_block(BasicBlock block, const Machine& machine,
     const RegisterLimitedResult result =
         compile_with_register_limit(block, options);
     if (args.dump_tuples) std::cerr << result.compiled.block.to_string();
+    if (!result.scheduler_feasible) {
+      std::cerr << "; note: pressure-constrained search found no schedule "
+                   "within "
+                << args.register_limit
+                << " registers; emitted the post-spill original order\n";
+    }
     if (args.stats) {
       print_stats(result.compiled.stats);
       std::cerr << "; spilled values: " << result.values_spilled << "\n";
     }
+    export_records(args,
+                   {record_of(static_cast<int>(result.compiled.block.size()),
+                              result.compiled.stats)});
     std::cout << result.compiled.assembly;
     return 0;
   }
@@ -229,6 +283,7 @@ int compile_one_block(BasicBlock block, const Machine& machine,
     SplitConfig config;
     config.window_size = args.split_window;
     config.search.curtail_lambda = args.lambda;
+    config.search.deadline_seconds = args.deadline;
     config.search.dominance_cache = args.dominance_cache;
     const SplitResult result = split_schedule(machine, dag, config);
     const Allocation allocation =
@@ -236,6 +291,8 @@ int compile_one_block(BasicBlock block, const Machine& machine,
     if (args.dump_tuples) std::cerr << prepared.to_string();
     if (args.dump_dag) std::cerr << dag.to_dot();
     if (args.stats) print_stats(result.stats);
+    export_records(
+        args, {record_of(static_cast<int>(prepared.size()), result.stats)});
     std::cout << emit_assembly(prepared, machine, result.schedule,
                                allocation, options.emit);
     return 0;
@@ -245,6 +302,8 @@ int compile_one_block(BasicBlock block, const Machine& machine,
   if (args.dump_tuples) std::cerr << result.block.to_string();
   if (args.dump_dag) std::cerr << DepGraph(result.block).to_dot();
   if (args.stats) print_stats(result.stats);
+  export_records(
+      args, {record_of(static_cast<int>(result.block.size()), result.stats)});
   if (args.trace) {
     const DepGraph dag(result.block);
     const SimResult sim =
@@ -302,6 +361,7 @@ int run(int argc, char** argv) {
   options.block.machine = machine;
   options.block.scheduler = args.scheduler;
   options.block.search.curtail_lambda = args.lambda;
+  options.block.search.deadline_seconds = args.deadline;
   options.block.search.dominance_cache = args.dominance_cache;
   options.block.optimize = args.optimize;
   options.block.reassociate = args.reassociate;
@@ -313,6 +373,12 @@ int run(int argc, char** argv) {
               << result.total_instructions << " instructions, "
               << result.total_nops << " NOPs\n";
   }
+  std::vector<RunRecord> records;
+  for (const CompiledBlock& compiled : result.blocks) {
+    records.push_back(record_of(
+        static_cast<int>(compiled.optimized.size()), compiled.stats));
+  }
+  export_records(args, records);
   std::cout << result.assembly;
   return 0;
 }
