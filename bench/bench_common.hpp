@@ -5,16 +5,24 @@
 // Workload sizes default to the paper's (16,000 corpus blocks) and can be
 // overridden through the PS_CORPUS_RUNS environment variable for quick
 // smoke runs.
+// Observability knobs (shared by every figure/table bench):
+//   PS_TRACE=<path>  record a structured trace of each corpus run and
+//                    write Chrome trace-event JSON to <path> (the file
+//                    covers the most recent run);
+//   PS_PROGRESS=1    live corpus progress on stderr.
 #pragma once
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/corpus_runner.hpp"
 #include "synth/corpus.hpp"
 #include "util/csv.hpp"
+#include "util/progress.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace pipesched::bench {
 
@@ -54,12 +62,36 @@ inline CorpusRunOptions paper_run_options(std::uint64_t lambda = 50000) {
   return options;
 }
 
-/// Run the standard corpus once (shared by the figure benches).
+/// Run the standard corpus once (shared by the figure benches), honoring
+/// the PS_TRACE / PS_PROGRESS observability knobs. A bench that runs
+/// several corpora overwrites PS_TRACE's file each time — the trace
+/// covers the most recent run, which keeps files bounded.
 inline std::vector<RunRecord> run_paper_corpus(
     int runs, const CorpusRunOptions& options) {
   CorpusSpec spec;
   spec.total_runs = runs;
-  return run_corpus(corpus_params(spec), options);
+
+  CorpusRunOptions run_options = options;
+  std::unique_ptr<ProgressReporter> progress;
+  if (const char* env = std::getenv("PS_PROGRESS"); env && env[0] != '\0') {
+    progress = std::make_unique<ProgressReporter>(
+        static_cast<std::size_t>(runs), std::cerr,
+        ProgressReporter::stderr_is_tty());
+    run_options.progress = progress.get();
+  }
+  const char* trace_path = std::getenv("PS_TRACE");
+  if (trace_path && trace_path[0] != '\0') trace_enable();
+
+  std::vector<RunRecord> records =
+      run_corpus(corpus_params(spec), run_options);
+
+  if (trace_path && trace_path[0] != '\0') {
+    trace_disable();
+    trace_write_json(trace_path);
+    std::cerr << "trace written to " << trace_path
+              << " (open in chrome://tracing or https://ui.perfetto.dev)\n";
+  }
+  return records;
 }
 
 inline void banner(const std::string& title, const std::string& paper_ref) {

@@ -9,6 +9,7 @@
 #include "sched/list_scheduler.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace pipesched {
 
@@ -31,6 +32,9 @@ const char* scheduler_kind_name(SchedulerKind kind) {
 Schedule run_scheduler(SchedulerKind kind, const Machine& machine,
                        const DepGraph& dag, const SearchConfig& search,
                        SearchStats* stats, const PipelineState& initial) {
+  // Named after the scheduler so the timeline distinguishes e.g. the
+  // list-schedule seed pass from the optimal search.
+  TraceSpan trace_span(scheduler_kind_name(kind));
   Timer wall;
   Schedule schedule;
   SearchStats local;
@@ -90,25 +94,48 @@ BasicBlock prepare_block(const BasicBlock& block,
 
 CompileResult compile_block(const BasicBlock& block,
                             const CompileOptions& options) {
+  // The Figure 2 pipeline as nested trace spans: optimize -> DAG build
+  // -> schedule -> regalloc -> emit, all under one compile_block parent.
+  PS_TRACE_SPAN("compile_block");
   CompileResult result;
-  result.block = prepare_block(block, options);
-  result.block.validate();
+  {
+    PS_TRACE_SPAN("optimize");
+    result.block = prepare_block(block, options);
+    result.block.validate();
+  }
 
-  const DepGraph dag(result.block);
-  result.schedule = run_scheduler(options.scheduler, options.machine, dag,
-                                  options.search, &result.stats);
-  result.allocation =
-      linear_scan(result.block, result.schedule.order, options.registers);
-  result.assembly = emit_assembly(result.block, options.machine,
-                                  result.schedule, result.allocation,
-                                  options.emit);
+  const DepGraph dag = [&] {
+    PS_TRACE_SPAN("dag_build");
+    return DepGraph(result.block);
+  }();
+  {
+    PS_TRACE_SPAN("schedule");
+    result.schedule = run_scheduler(options.scheduler, options.machine, dag,
+                                    options.search, &result.stats);
+  }
+  {
+    PS_TRACE_SPAN("regalloc");
+    result.allocation =
+        linear_scan(result.block, result.schedule.order, options.registers);
+  }
+  {
+    PS_TRACE_SPAN("emit");
+    result.assembly = emit_assembly(result.block, options.machine,
+                                    result.schedule, result.allocation,
+                                    options.emit);
+  }
   return result;
 }
 
 CompileResult compile_source(const std::string& source,
                              const CompileOptions& options) {
-  const SourceProgram program = parse_source(source);
-  return compile_block(generate_tuples(program), options);
+  BasicBlock tuples;
+  {
+    PS_TRACE_SPAN("parse");
+    const SourceProgram program = parse_source(source);
+    tuples = generate_tuples(program);
+  }
+  return compile_block(tuples, options);
 }
 
 RegisterLimitedResult compile_with_register_limit(const BasicBlock& block,
@@ -118,21 +145,31 @@ RegisterLimitedResult compile_with_register_limit(const BasicBlock& block,
   RegisterLimitedResult result;
   CompileResult& out = result.compiled;
 
-  out.block = prepare_block(block, options);
+  PS_TRACE_SPAN("compile_register_limited");
+  {
+    PS_TRACE_SPAN("optimize");
+    out.block = prepare_block(block, options);
+  }
 
   // Step 2: spill until the (safe) original order fits the file.
   if (block_max_live(out.block) > options.registers) {
+    PS_TRACE_SPAN("spill");
     SpillResult spilled = insert_spill_code(out.block, options.registers);
     out.block = std::move(spilled.block);
     result.values_spilled = spilled.values_spilled;
   }
 
   // Step 3: pressure-constrained search.
-  const DepGraph dag(out.block);
+  const DepGraph dag = [&] {
+    PS_TRACE_SPAN("dag_build");
+    return DepGraph(out.block);
+  }();
   SearchConfig search = options.search;
   search.max_live_registers = options.registers;
-  const OptimalResult searched =
-      optimal_schedule(options.machine, dag, search);
+  const OptimalResult searched = [&] {
+    PS_TRACE_SPAN("schedule");
+    return optimal_schedule(options.machine, dag, search);
+  }();
   result.scheduler_feasible = searched.stats.feasible;
   out.stats = searched.stats;
   if (searched.stats.feasible) {
@@ -147,11 +184,17 @@ RegisterLimitedResult compile_with_register_limit(const BasicBlock& block,
     out.stats.best_nops = out.schedule.total_nops();
   }
 
-  out.allocation =
-      linear_scan(out.block, out.schedule.order, options.registers);
+  {
+    PS_TRACE_SPAN("regalloc");
+    out.allocation =
+        linear_scan(out.block, out.schedule.order, options.registers);
+  }
   PS_ASSERT(out.allocation.registers_used <= options.registers);
-  out.assembly = emit_assembly(out.block, options.machine, out.schedule,
-                               out.allocation, options.emit);
+  {
+    PS_TRACE_SPAN("emit");
+    out.assembly = emit_assembly(out.block, options.machine, out.schedule,
+                                 out.allocation, options.emit);
+  }
   return result;
 }
 

@@ -1,13 +1,16 @@
 #include "core/corpus_runner.hpp"
 
+#include <atomic>
 #include <fstream>
 #include <sstream>
 
 #include "ir/dag.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
+#include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace pipesched {
 
@@ -65,18 +68,25 @@ std::vector<RunRecord> run_corpus(const std::vector<GeneratorParams>& params,
                                   const CorpusRunOptions& options) {
   std::vector<RunRecord> records(params.size());
   ThreadPool pool(options.threads);
+  std::atomic<std::uint64_t> blocks_done{0};
   parallel_for_each(pool, params.size(), [&](std::size_t i) {
+    // Per-block span on the worker's own track: the timeline shows which
+    // worker ran which block and how the pool's load balanced.
+    PS_TRACE_SPAN("corpus_block");
     RunRecord& record = records[i];
     BasicBlock block;
     try {
       block = generate_block(params[i]);
       record.block_size = static_cast<int>(block.size());
-      if (block.empty()) return;  // fully optimized away; trivially optimal
-      if (options.fault_hook) options.fault_hook(i, block);
-      const DepGraph dag(block);
-      const OptimalResult result =
-          optimal_schedule(options.machine, dag, options.search);
-      fill_run_record(record, result.stats);
+      if (block.empty()) {
+        // Fully optimized away; trivially optimal.
+      } else {
+        if (options.fault_hook) options.fault_hook(i, block);
+        const DepGraph dag(block);
+        const OptimalResult result =
+            optimal_schedule(options.machine, dag, options.search);
+        fill_run_record(record, result.stats);
+      }
     } catch (const std::exception& e) {
       // One bad block must not destroy the batch: record the failure and
       // keep scheduling the rest of the corpus.
@@ -87,7 +97,15 @@ std::vector<RunRecord> run_corpus(const std::vector<GeneratorParams>& params,
                                             block, record.error);
       }
     }
+    if (trace_enabled()) {
+      trace_counter("corpus/blocks_done",
+                    static_cast<double>(
+                        blocks_done.fetch_add(1, std::memory_order_relaxed) +
+                        1));
+    }
+    if (options.progress) options.progress->add(!record.error.empty());
   });
+  if (options.progress) options.progress->finish();
   return records;
 }
 
@@ -111,6 +129,8 @@ void fill_column(CorpusSummary::Column& col, std::size_t total_runs,
   double secs = 0;
   double pr_window = 0, pr_ready = 0, pr_equiv = 0, pr_ab = 0, pr_lb = 0,
          pr_dom = 0, pr_pressure = 0;
+  std::vector<double> block_seconds;  // retained for the quantile rows
+  block_seconds.reserve(records.size());
   std::size_t clean = 0;     // non-error records: the averaging population
   std::size_t feasible = 0;  // population for the final-NOPs average
   for (const RunRecord* r : records) {
@@ -119,6 +139,7 @@ void fill_column(CorpusSummary::Column& col, std::size_t total_runs,
       continue;
     }
     ++clean;
+    block_seconds.push_back(r->seconds);
     if (r->feasible) {
       ++feasible;
       final_nops += r->final_nops;
@@ -154,6 +175,13 @@ void fill_column(CorpusSummary::Column& col, std::size_t total_runs,
   col.avg_nodes_expanded = nodes / n;
   col.cache_hit_percent = probes > 0 ? 100.0 * hits / probes : 0.0;
   col.avg_seconds = secs / n;
+  // One sort for all three quantiles (the old pattern — percentile() per
+  // row — re-sorted the whole sample each time).
+  const std::vector<double> qs =
+      quantiles(std::move(block_seconds), {50.0, 90.0, 99.0});
+  col.p50_seconds = qs[0];
+  col.p90_seconds = qs[1];
+  col.p99_seconds = qs[2];
   col.avg_pruned_window = pr_window / n;
   col.avg_pruned_readiness = pr_ready / n;
   col.avg_pruned_equivalence = pr_equiv / n;
@@ -218,6 +246,15 @@ std::string render_corpus_summary(const CorpusSummary& summary) {
   });
   row("Avg. Search Time", [](const CorpusSummary::Column& c) {
     return compact_double(c.avg_seconds * 1e6, 3) + "us";
+  });
+  row("p50 Search Time", [](const CorpusSummary::Column& c) {
+    return compact_double(c.p50_seconds * 1e6, 3) + "us";
+  });
+  row("p90 Search Time", [](const CorpusSummary::Column& c) {
+    return compact_double(c.p90_seconds * 1e6, 3) + "us";
+  });
+  row("p99 Search Time", [](const CorpusSummary::Column& c) {
+    return compact_double(c.p99_seconds * 1e6, 3) + "us";
   });
   row("Curtailed (lambda)", [](const CorpusSummary::Column& c) {
     return std::to_string(c.curtailed_lambda);
@@ -365,6 +402,9 @@ void write_bench_column(std::ostream& out, const char* name,
   field("avg_nodes_expanded", num(c.avg_nodes_expanded), false);
   field("cache_hit_percent", num(c.cache_hit_percent), false);
   field("avg_seconds", num(c.avg_seconds), false);
+  field("p50_seconds", num(c.p50_seconds), false);
+  field("p90_seconds", num(c.p90_seconds), false);
+  field("p99_seconds", num(c.p99_seconds), false);
   field("errors", std::to_string(c.errors), false);
   field("infeasible", std::to_string(c.infeasible), false);
   field("curtailed_lambda", std::to_string(c.curtailed_lambda), false);

@@ -16,6 +16,7 @@
 #include "machine/machine.hpp"
 #include "sched/optimal_scheduler.hpp"
 #include "synth/corpus.hpp"
+#include "util/progress.hpp"
 
 namespace pipesched {
 
@@ -72,6 +73,10 @@ struct CorpusRunOptions {
   /// A throwing hook exercises the per-block failure path exactly like a
   /// real scheduler fault would.
   std::function<void(std::size_t, const BasicBlock&)> fault_hook;
+
+  /// Optional live progress: one tick per finished block (errored blocks
+  /// tick with errored=true). Not owned; may be null.
+  ProgressReporter* progress = nullptr;
 };
 
 /// Generate each parameter set's block and schedule it with the
@@ -98,6 +103,11 @@ struct CorpusSummary {
     double avg_nodes_expanded = 0;
     double cache_hit_percent = 0;  ///< hits / probes over the column
     double avg_seconds = 0;
+    /// Per-block wall-time distribution (seconds) over the non-error
+    /// records — the tail is what deadline/λ tuning actually fights.
+    double p50_seconds = 0;
+    double p90_seconds = 0;
+    double p99_seconds = 0;
     std::size_t errors = 0;             ///< blocks whose run threw
     std::size_t infeasible = 0;         ///< no schedule within the ceiling
     std::size_t curtailed_lambda = 0;   ///< stopped by the curtail point

@@ -7,6 +7,7 @@
 #include "frontend/program_codegen.hpp"
 #include "ir/dag.hpp"
 #include "util/check.hpp"
+#include "util/trace.hpp"
 
 namespace pipesched {
 
@@ -51,21 +52,29 @@ std::string terminator_assembly(const Program& program, BlockId id) {
 ProgramCompileResult compile_program(const Program& program,
                                      const ProgramCompileOptions& options) {
   program.validate();
+  PS_TRACE_SPAN("compile_program");
   ProgramCompileResult result;
   std::ostringstream assembly;
 
   PipelineState previous_exit;  // exit state of the layout-preceding block
   for (std::size_t i = 0; i < program.size(); ++i) {
+    PS_TRACE_SPAN("program_block");
     const auto id = static_cast<BlockId>(i);
     const ProgramBlock& pb = program.block(id);
 
     CompiledBlock compiled;
-    compiled.optimized = options.block.optimize
-                             ? run_standard_pipeline(pb.block)
-                             : pb.block;
-    compiled.optimized.set_label(pb.block.label());
+    {
+      PS_TRACE_SPAN("optimize");
+      compiled.optimized = options.block.optimize
+                               ? run_standard_pipeline(pb.block)
+                               : pb.block;
+      compiled.optimized.set_label(pb.block.label());
+    }
 
-    const DepGraph dag(compiled.optimized);
+    const DepGraph dag = [&] {
+      PS_TRACE_SPAN("dag_build");
+      return DepGraph(compiled.optimized);
+    }();
     compiled.chained = options.boundary == BoundaryMode::Chain &&
                        program.only_fallthrough_predecessor(id) &&
                        !previous_exit.unit_last_issue.empty();
@@ -73,12 +82,18 @@ ProgramCompileResult compile_program(const Program& program,
         compiled.chained ? previous_exit
                          : PipelineState::drained(options.block.machine);
 
-    compiled.schedule =
-        run_scheduler(options.block.scheduler, options.block.machine, dag,
-                      options.block.search, &compiled.stats, entry);
-    compiled.allocation = linear_scan(compiled.optimized,
-                                      compiled.schedule.order,
-                                      options.block.registers);
+    {
+      PS_TRACE_SPAN("schedule");
+      compiled.schedule =
+          run_scheduler(options.block.scheduler, options.block.machine, dag,
+                        options.block.search, &compiled.stats, entry);
+    }
+    {
+      PS_TRACE_SPAN("regalloc");
+      compiled.allocation = linear_scan(compiled.optimized,
+                                        compiled.schedule.order,
+                                        options.block.registers);
+    }
 
     // Replay to obtain the exit occupancy for the next block.
     {
@@ -99,11 +114,16 @@ ProgramCompileResult compile_program(const Program& program,
     // Body without the label line (emit_assembly prints it when set).
     BasicBlock body = compiled.optimized;
     body.set_label("");
-    assembly << emit_assembly(body, options.block.machine, compiled.schedule,
-                              compiled.allocation, options.block.emit);
+    {
+      PS_TRACE_SPAN("emit");
+      assembly << emit_assembly(body, options.block.machine,
+                                compiled.schedule, compiled.allocation,
+                                options.block.emit);
+    }
     assembly << terminator_assembly(program, id);
 
     result.blocks.push_back(std::move(compiled));
+    if (options.progress) options.progress->add();
   }
   result.assembly = assembly.str();
   return result;
@@ -111,8 +131,12 @@ ProgramCompileResult compile_program(const Program& program,
 
 ProgramCompileResult compile_program_source(
     const std::string& source, const ProgramCompileOptions& options) {
-  const SourceProgram parsed = parse_source(source);
-  return compile_program(generate_program(parsed), options);
+  Program program = [&] {
+    PS_TRACE_SPAN("parse");
+    const SourceProgram parsed = parse_source(source);
+    return generate_program(parsed);
+  }();
+  return compile_program(program, options);
 }
 
 }  // namespace pipesched

@@ -18,6 +18,7 @@
 
 #include "core/compiler.hpp"
 #include "ir/program.hpp"
+#include "util/progress.hpp"
 
 namespace pipesched {
 
@@ -26,6 +27,10 @@ enum class BoundaryMode { Drain, Chain };
 struct ProgramCompileOptions {
   CompileOptions block;  ///< per-block pipeline (machine, scheduler, ...)
   BoundaryMode boundary = BoundaryMode::Drain;
+
+  /// Optional live progress (psc --progress): one tick per compiled
+  /// block. Not owned; may be null.
+  ProgressReporter* progress = nullptr;
 };
 
 /// Per-block compilation record.

@@ -9,6 +9,7 @@
 #include "util/check.hpp"
 #include "util/dominance_cache.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace pipesched {
 
@@ -118,6 +119,7 @@ class Search {
   }
 
   OptimalResult run() {
+    PS_TRACE_SPAN("optimal_search");
     Timer wall;
     if (config_.deadline_seconds > 0) {
       has_deadline_ = true;
@@ -181,6 +183,9 @@ class Search {
     best_schedule_ = &result.best;
     stats_ = &result.stats;
     if (n_ > 0 && best_nops_ > 0) descend();
+    // Every traced search contributes at least one heartbeat sample, even
+    // when it finishes well inside the first 1,024-expansion tick.
+    if (trace_enabled()) emit_heartbeat();
     // An infeasible search found no schedule within the pressure ceiling;
     // `best` is still the (infeasible) seed, kept for diagnostics, but the
     // reported cost must not look like a real optimum.
@@ -200,6 +205,39 @@ class Search {
   }
 
  private:
+  /// Cold path of the per-node bookkeeping, reached every 1,024
+  /// expansions: the amortized wall-clock deadline check, with the trace
+  /// heartbeat piggybacked on the same tick so instrumentation adds no
+  /// second periodic branch to the hot loop.
+  void slow_tick() {
+    if (has_deadline_ && !deadline_expired_ &&
+        std::chrono::steady_clock::now() >= deadline_at_) {
+      deadline_expired_ = true;
+    }
+    if (trace_enabled()) emit_heartbeat();
+  }
+
+  /// Sampled counter tracks that make a stuck or exploding search
+  /// diagnosable on the timeline: total expansions, the incumbent cost
+  /// (watch it stall), the dominance-cache hit rate, and the current
+  /// search depth (distinguishes deep stalls from wide thrashing).
+  void emit_heartbeat() const {
+    trace_counter("search/nodes_expanded",
+                  static_cast<double>(stats_->nodes_expanded));
+    if (best_nops_ < kInfiniteCost) {
+      trace_counter("search/incumbent_nops", best_nops_);
+    }
+    if (cache_) {
+      const DominanceCacheStats& cs = cache_->stats();
+      if (cs.probes > 0) {
+        trace_counter("search/cache_hit_pct",
+                      100.0 * static_cast<double>(cs.hits) /
+                          static_cast<double>(cs.probes));
+      }
+    }
+    trace_counter("search/depth", static_cast<double>(timer_.depth()));
+  }
+
   bool curtailed() const {
     return deadline_expired_ ||
            (config_.curtail_lambda != 0 &&
@@ -354,13 +392,10 @@ class Search {
 
   void descend() {
     ++stats_->nodes_expanded;
-    // Amortized wall-clock check: one steady_clock read per ~1024 node
-    // expansions keeps the deadline branch out of the hot loop's profile.
-    if (has_deadline_ && !deadline_expired_ &&
-        (stats_->nodes_expanded & 1023u) == 0 &&
-        std::chrono::steady_clock::now() >= deadline_at_) {
-      deadline_expired_ = true;
-    }
+    // Amortized slow work (deadline clock read, trace heartbeat) runs
+    // once per ~1024 node expansions so the hot loop pays one predictable
+    // branch per node.
+    if ((stats_->nodes_expanded & 1023u) == 0) slow_tick();
     if (timer_.depth() == n_) {
       ++stats_->schedules_examined;
       stats_->feasible = true;

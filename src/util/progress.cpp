@@ -1,0 +1,94 @@
+#include "util/progress.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace pipesched {
+
+ProgressReporter::ProgressReporter(std::size_t total, std::ostream& out,
+                                   bool tty, double min_redraw_seconds)
+    : total_(total),
+      out_(out),
+      tty_(tty),
+      min_redraw_seconds_(min_redraw_seconds) {
+  // Non-tty mode logs ~10 evenly spaced lines plus the final one.
+  next_line_at_ = std::max<std::size_t>(1, total_ / 10);
+}
+
+bool ProgressReporter::stderr_is_tty() { return isatty(fileno(stderr)) != 0; }
+
+void ProgressReporter::add(bool errored) {
+  std::lock_guard lock(mutex_);
+  if (done_ < total_) ++done_;
+  if (errored) ++errors_;
+  if (finished_) return;
+  if (tty_) {
+    const double now = wall_.seconds();
+    if (done_ == total_ || last_redraw_seconds_ < 0 ||
+        now - last_redraw_seconds_ >= min_redraw_seconds_) {
+      last_redraw_seconds_ = now;
+      render(false);
+    }
+  } else if (done_ >= next_line_at_) {
+    next_line_at_ = done_ + std::max<std::size_t>(1, total_ / 10);
+    render(false);
+    out_ << "\n";
+  }
+}
+
+void ProgressReporter::render(bool final_line) {
+  const double seconds = wall_.seconds();
+  const double rate = seconds > 0 ? static_cast<double>(done_) / seconds : 0;
+  const std::size_t remaining = total_ - std::min(done_, total_);
+  std::ostringstream line;
+  const std::size_t percent = total_ ? 100 * done_ / total_ : 100;
+  line << (tty_ ? "\r" : "") << "[progress] " << done_ << "/" << total_
+       << " (" << percent << "%)";
+  if (errors_ > 0) line << ", " << errors_ << " errored";
+  line << ", " << compact_double(rate, 4) << " blocks/s";
+  if (!final_line && rate > 0) {
+    line << ", ETA " << compact_double(static_cast<double>(remaining) / rate, 3)
+         << "s";
+  }
+  if (final_line) {
+    line << ", " << compact_double(seconds, 3) << "s total";
+  }
+  // Pad over any longer previous in-place line before \r overwrites it.
+  std::string text = line.str();
+  if (tty_) text.append(std::max<std::size_t>(text.size(), 60) - text.size(),
+                        ' ');
+  out_ << text;
+  if (tty_) out_.flush();
+}
+
+void ProgressReporter::finish() {
+  std::lock_guard lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  render(true);
+  out_ << "\n";
+  out_.flush();
+}
+
+ProgressReporter::~ProgressReporter() {
+  // Never let a partial tty status line bleed into subsequent output.
+  finish();
+}
+
+std::size_t ProgressReporter::done() const {
+  std::lock_guard lock(mutex_);
+  return done_;
+}
+
+std::size_t ProgressReporter::errors() const {
+  std::lock_guard lock(mutex_);
+  return errors_;
+}
+
+}  // namespace pipesched

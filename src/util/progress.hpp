@@ -1,0 +1,64 @@
+// Live progress reporting for long corpus/program runs.
+//
+// A ProgressReporter renders "done/total" progress with an error count,
+// throughput, and an ETA. On a tty it redraws a single status line in
+// place (carriage return, rate-limited so thousands of fast blocks do
+// not melt the terminal into scroll-back); on a non-tty stream (CI logs,
+// redirects) it degrades to occasional complete lines so logs stay
+// greppable and bounded.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+
+#include "util/timer.hpp"
+
+namespace pipesched {
+
+class ProgressReporter {
+ public:
+  /// Report progress toward `total` completions on `out`. `tty` selects
+  /// in-place redraw vs. line-per-report mode; use stderr_is_tty() when
+  /// writing to stderr. `min_redraw_seconds` rate-limits tty redraws.
+  ProgressReporter(std::size_t total, std::ostream& out, bool tty,
+                   double min_redraw_seconds = 0.1);
+
+  /// True when stderr is attached to a terminal (POSIX isatty).
+  static bool stderr_is_tty();
+
+  /// Record one completed unit (thread-safe; called from pool workers).
+  /// `errored` marks the unit failed — it still counts toward `done`.
+  void add(bool errored = false);
+
+  /// Render the final state and end the status line. Idempotent; the
+  /// destructor calls it, so scope exit always leaves a clean terminal.
+  void finish();
+
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  std::size_t done() const;
+  std::size_t errors() const;
+
+ private:
+  /// Render one status report (caller holds mutex_). `final_line` forces
+  /// the redraw and terminates the line.
+  void render(bool final_line);
+
+  const std::size_t total_;
+  std::ostream& out_;
+  const bool tty_;
+  const double min_redraw_seconds_;
+  Timer wall_;
+
+  mutable std::mutex mutex_;
+  std::size_t done_ = 0;
+  std::size_t errors_ = 0;
+  std::size_t next_line_at_ = 0;  ///< non-tty: next `done_` worth a line
+  double last_redraw_seconds_ = -1.0;
+  bool finished_ = false;
+};
+
+}  // namespace pipesched

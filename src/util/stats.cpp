@@ -40,15 +40,34 @@ long Histogram::max_key() const {
 
 void GroupedStats::add(long key, double value) { groups_[key].add(value); }
 
+namespace {
+
+/// Interpolated order statistic of an already-sorted sample.
+double quantile_of_sorted(const std::vector<double>& sorted, double p) {
+  PS_CHECK(p >= 0.0 && p <= 100.0, "percentile p out of range: " << p);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
 double percentile(std::vector<double> values, double p) {
   PS_CHECK(!values.empty(), "percentile of empty sample");
-  PS_CHECK(p >= 0.0 && p <= 100.0, "percentile p out of range: " << p);
   std::sort(values.begin(), values.end());
-  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, values.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return quantile_of_sorted(values, p);
+}
+
+std::vector<double> quantiles(std::vector<double> values,
+                              const std::vector<double>& ps) {
+  PS_CHECK(!values.empty(), "quantiles of empty sample");
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(quantile_of_sorted(values, p));
+  return out;
 }
 
 }  // namespace pipesched

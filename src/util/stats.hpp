@@ -57,6 +57,15 @@ class GroupedStats {
 };
 
 /// Exact percentile over a retained sample (used for figure summaries).
+/// Sorts its copy of the sample — for several percentiles of one sample,
+/// use quantiles(), which sorts once.
 double percentile(std::vector<double> values, double p);
+
+/// Multi-quantile: the percentiles `ps` (each in [0, 100], any order) of
+/// one sample, sorting the sample exactly once. Returns one value per
+/// entry of `ps`, aligned with it. Linear interpolation between order
+/// statistics, matching percentile().
+std::vector<double> quantiles(std::vector<double> values,
+                              const std::vector<double>& ps);
 
 }  // namespace pipesched

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <string>
 
 #include "util/check.hpp"
+#include "util/trace.hpp"
 
 namespace pipesched {
 
@@ -14,7 +16,13 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Name the worker's trace track so corpus timelines read
+      // "pool-worker-3" instead of a bare tid (no-op while tracing is
+      // off; cheap either way, it runs once per thread).
+      trace_set_thread_name("pool-worker-" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 

@@ -1,0 +1,174 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"  // json_quote
+
+namespace pipesched {
+
+namespace trace_detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+/// One thread's private event stream. Created on the thread's first
+/// recorded event, registered with the global registry, and owned by the
+/// registry for the process lifetime (threads may die before flush; a
+/// dangling thread_local pointer is never followed after clear() because
+/// buffers are reused, not freed).
+struct ThreadBuffer {
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+  std::string thread_name;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlive all worker threads
+  return *r;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    buffer = owned.get();
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    buffer->tid = static_cast<std::uint32_t>(reg.buffers.size() + 1);
+    reg.buffers.push_back(std::move(owned));
+  }
+  return *buffer;
+}
+
+}  // namespace
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - registry().epoch)
+          .count());
+}
+
+void record(TraceEvent::Phase phase, const char* name, std::uint64_t ts_us,
+            std::uint64_t dur_us, double value) {
+  ThreadBuffer& buffer = local_buffer();
+  TraceEvent& e = buffer.events.emplace_back();
+  e.name = name;
+  e.phase = phase;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.value = value;
+  e.tid = buffer.tid;
+}
+
+}  // namespace trace_detail
+
+void trace_enable() {
+  if (trace_enabled()) return;
+  trace_clear();
+  {
+    auto& reg = trace_detail::registry();
+    std::lock_guard lock(reg.mutex);
+    reg.epoch = std::chrono::steady_clock::now();
+  }
+  trace_detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_disable() {
+  trace_detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void trace_clear() {
+  auto& reg = trace_detail::registry();
+  std::lock_guard lock(reg.mutex);
+  for (auto& buffer : reg.buffers) buffer->events.clear();
+}
+
+void trace_set_thread_name(const std::string& name) {
+  if (!trace_enabled()) return;
+  trace_detail::local_buffer().thread_name = name;
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+  auto& reg = trace_detail::registry();
+  std::vector<TraceEvent> merged;
+  {
+    std::lock_guard lock(reg.mutex);
+    for (const auto& buffer : reg.buffers) {
+      merged.insert(merged.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return merged;
+}
+
+void trace_write_json(std::ostream& out) {
+  // Thread-name metadata first, then the events in timestamp order. The
+  // pid is constant (single-process tool); tids are the collector's own
+  // per-thread track ids.
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+  {
+    auto& reg = trace_detail::registry();
+    std::lock_guard lock(reg.mutex);
+    for (const auto& buffer : reg.buffers) {
+      if (buffer->thread_name.empty()) continue;
+      sep();
+      out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+          << buffer->tid << ",\"args\":{\"name\":"
+          << json_quote(buffer->thread_name) << "}}";
+    }
+  }
+  for (const TraceEvent& e : trace_snapshot()) {
+    sep();
+    out << "{\"name\":" << json_quote(e.name) << ",\"pid\":1,\"tid\":"
+        << e.tid << ",\"ts\":" << e.ts_us;
+    switch (e.phase) {
+      case TraceEvent::Phase::Complete:
+        out << ",\"ph\":\"X\",\"dur\":" << e.dur_us;
+        break;
+      case TraceEvent::Phase::Counter:
+        out << ",\"ph\":\"C\",\"args\":{\"value\":" << e.value << "}";
+        break;
+      case TraceEvent::Phase::Instant:
+        out << ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+    }
+    out << "}";
+  }
+  if (!first) out << "\n";
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void trace_write_json(const std::string& path) {
+  std::ofstream out(path);
+  PS_CHECK(out.good(), "cannot open trace file: " << path);
+  trace_write_json(out);
+  out.flush();
+  PS_CHECK(out.good(), "write failure on trace file: " << path);
+}
+
+}  // namespace pipesched

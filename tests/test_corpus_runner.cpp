@@ -247,10 +247,18 @@ TEST(CorpusRunner, PruneCountersAreLiveAndSummarized) {
   const CorpusSummary summary = summarize_corpus(records);
   EXPECT_GT(summary.total.avg_pruned_alpha_beta, 0.0);
   EXPECT_GT(summary.total.avg_pruned_readiness, 0.0);
+  // Per-block wall-time quantiles: ordered, and bounded by the extremes
+  // of a sorted sample (p50 <= p90 <= p99).
+  EXPECT_GT(summary.total.p50_seconds, 0.0);
+  EXPECT_LE(summary.total.p50_seconds, summary.total.p90_seconds);
+  EXPECT_LE(summary.total.p90_seconds, summary.total.p99_seconds);
+
   const std::string rendered = render_corpus_summary(summary);
   EXPECT_NE(rendered.find("Alpha-Beta Prunes"), std::string::npos);
   EXPECT_NE(rendered.find("Curtailed (deadline)"), std::string::npos);
   EXPECT_NE(rendered.find("Errored Blocks"), std::string::npos);
+  EXPECT_NE(rendered.find("p50 Search Time"), std::string::npos);
+  EXPECT_NE(rendered.find("p99 Search Time"), std::string::npos);
 }
 
 TEST(CorpusRunner, ExportsAndRollupSurviveFaultAndDeadline) {
@@ -323,6 +331,8 @@ TEST(CorpusRunner, ExportsAndRollupSurviveFaultAndDeadline) {
   EXPECT_NE(bench.find("\"completed\""), std::string::npos);
   EXPECT_NE(bench.find("\"truncated\""), std::string::npos);
   EXPECT_NE(bench.find("\"errors\""), std::string::npos);
+  EXPECT_NE(bench.find("\"p50_seconds\""), std::string::npos);
+  EXPECT_NE(bench.find("\"p99_seconds\""), std::string::npos);
 
   for (const std::string& p : {csv_path, jsonl_path, bench_path}) {
     std::filesystem::remove(p);

@@ -127,6 +127,22 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile(values, 25), 2.0);
 }
 
+TEST(Stats, QuantilesMatchPercentileWithOneSort) {
+  std::vector<double> values = {9, 1, 5, 3, 7, 2, 8, 4, 6, 10};
+  const std::vector<double> qs = quantiles(values, {0, 25, 50, 90, 100});
+  ASSERT_EQ(qs.size(), 5u);
+  EXPECT_DOUBLE_EQ(qs[0], percentile(values, 0));
+  EXPECT_DOUBLE_EQ(qs[1], percentile(values, 25));
+  EXPECT_DOUBLE_EQ(qs[2], percentile(values, 50));
+  EXPECT_DOUBLE_EQ(qs[3], percentile(values, 90));
+  EXPECT_DOUBLE_EQ(qs[4], percentile(values, 100));
+}
+
+TEST(Stats, QuantilesSingleValue) {
+  const std::vector<double> qs = quantiles({42.0}, {0, 50, 99, 100});
+  for (double q : qs) EXPECT_DOUBLE_EQ(q, 42.0);
+}
+
 TEST(Stats, HistogramAccumulates) {
   Histogram h;
   h.add(3);

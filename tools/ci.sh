@@ -26,6 +26,32 @@ run_suite build-ci-sanitize \
   -DCMAKE_BUILD_TYPE=Debug \
   -DPIPESCHED_SANITIZE=address,undefined
 
+# Traced corpus smoke, in BOTH configurations: a small corpus run with
+# PS_TRACE must produce well-formed Chrome trace-event JSON (validated
+# with python's strict parser) carrying the per-block spans and the
+# search heartbeat counters, and psc --trace must do the same for a
+# single-block compile.
+traced_smoke() {
+  local build="$1"
+  echo "==== traced corpus smoke (${build}) ===="
+  local dir
+  dir="$(mktemp -d)"
+  (cd "${dir}" && \
+    PS_CORPUS_RUNS=200 PS_TRACE="${dir}/corpus_trace.json" \
+    "${OLDPWD}/${build}/bench/bench_table7" > /dev/null)
+  python3 -m json.tool "${dir}/corpus_trace.json" > /dev/null
+  grep -q '"corpus_block"' "${dir}/corpus_trace.json"
+  grep -q '"search/nodes_expanded"' "${dir}/corpus_trace.json"
+  echo "x = a * b + c; y = x / d;" | \
+    "./${build}/tools/psc" --trace "${dir}/psc_trace.json" > /dev/null 2>&1
+  python3 -m json.tool "${dir}/psc_trace.json" > /dev/null
+  grep -q '"compile_block"' "${dir}/psc_trace.json"
+  rm -rf "${dir}"
+}
+
+traced_smoke build-ci-release
+traced_smoke build-ci-sanitize
+
 # Corpus smoke under the sanitizers: the wall-clock deadline and the
 # per-block fault/reproducer paths are timing- and exception-heavy, so
 # exercise them explicitly beyond their unit tests — first the focused

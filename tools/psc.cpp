@@ -6,6 +6,7 @@
 // offers. Run `psc --help` for usage.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -26,7 +27,9 @@
 #include "sched/split_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
+#include "util/progress.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -67,11 +70,19 @@ output:
   --dump-tuples         print the (optimized) tuple form
   --dump-dag            print the dependence DAG as graphviz dot
   --dump-cfg            print the control-flow graph
-  --trace               print the pipeline occupancy trace
+  --sim-trace           print the pipeline occupancy trace (ASCII)
   --stats               print search statistics (incl. per-prune-rule
-                        counters and the curtail reason)
+                        counters, search throughput, and the curtail
+                        reason)
   --csv <path>          write per-block search records as CSV
   --jsonl <path>        write per-block search records as JSON lines
+observability:
+  --trace <out.json>    record a structured trace of the whole compile
+                        (pipeline phases as nested spans, search
+                        heartbeat counters) as Chrome trace-event JSON —
+                        open in chrome://tracing or ui.perfetto.dev
+  --progress            live per-block progress on stderr (blocks
+                        done/total, errors, blocks/s, ETA)
   --help
 )";
 
@@ -94,8 +105,10 @@ struct Args {
   bool dump_tuples = false;
   bool dump_dag = false;
   bool dump_cfg = false;
-  bool trace = false;
+  bool sim_trace = false;
   bool stats = false;
+  bool progress = false;
+  std::string trace_path;
   std::string csv_path;
   std::string jsonl_path;
 };
@@ -180,8 +193,12 @@ Args parse_args(int argc, char** argv) {
       args.dump_dag = true;
     } else if (arg == "--dump-cfg") {
       args.dump_cfg = true;
+    } else if (arg == "--sim-trace") {
+      args.sim_trace = true;
     } else if (arg == "--trace") {
-      args.trace = true;
+      args.trace_path = next();
+    } else if (arg == "--progress") {
+      args.progress = true;
     } else if (arg == "--stats") {
       args.stats = true;
     } else if (arg == "--csv") {
@@ -211,6 +228,13 @@ void print_stats(const SearchStats& stats) {
   if (!stats.feasible) {
     std::cerr << "; search: INFEASIBLE — no schedule fits the register "
                  "ceiling; final NOPs is -1 (not a real optimum)\n";
+  }
+  if (stats.seconds > 0 && stats.nodes_expanded > 0) {
+    std::cerr << "; throughput: "
+              << compact_double(static_cast<double>(stats.nodes_expanded) /
+                                    stats.seconds,
+                                4)
+              << " nodes expanded/second\n";
   }
   std::cerr << "; prunes: window [5a] " << stats.pruned_window
             << ", readiness [5b] " << stats.pruned_readiness
@@ -304,7 +328,7 @@ int compile_one_block(BasicBlock block, const Machine& machine,
   if (args.stats) print_stats(result.stats);
   export_records(
       args, {record_of(static_cast<int>(result.block.size()), result.stats)});
-  if (args.trace) {
+  if (args.sim_trace) {
     const DepGraph dag(result.block);
     const SimResult sim =
         simulate_interlocked(machine, dag, result.schedule.order);
@@ -314,8 +338,7 @@ int compile_one_block(BasicBlock block, const Machine& machine,
   return 0;
 }
 
-int run(int argc, char** argv) {
-  const Args args = parse_args(argc, argv);
+int run_compile(const Args& args) {
   const Machine machine =
       args.machine_file.empty()
           ? Machine::preset(args.machine_preset)
@@ -329,17 +352,29 @@ int run(int argc, char** argv) {
     // A leading "program" keyword selects the whole-CFG tuple format.
     const std::string head = trim(input).substr(0, 7);
     if (head == "program") {
+      PS_TRACE_SPAN("parse");
       parsed_program = parse_program_text(input);
       have_program = true;
     } else {
-      return compile_one_block(parse_block(input), machine, args);
+      BasicBlock block = [&] {
+        PS_TRACE_SPAN("parse");
+        return parse_block(input);
+      }();
+      return compile_one_block(std::move(block), machine, args);
     }
   }
 
   if (!have_program) {
-    const SourceProgram source = parse_source(input);
+    SourceProgram source = [&] {
+      PS_TRACE_SPAN("parse");
+      return parse_source(input);
+    }();
     if (source.is_straight_line()) {
-      return compile_one_block(generate_tuples(source), machine, args);
+      BasicBlock tuples = [&] {
+        PS_TRACE_SPAN("tuple_gen");
+        return generate_tuples(source);
+      }();
+      return compile_one_block(std::move(tuples), machine, args);
     }
     parsed_program = generate_program(source);
   }
@@ -357,7 +392,13 @@ int run(int argc, char** argv) {
   if (args.dump_cfg) std::cerr << program.to_string();
   PS_CHECK(args.split_window == 0 && args.register_limit == 0,
            "--split/--registers currently apply to straight-line input");
+  std::unique_ptr<ProgressReporter> progress;
+  if (args.progress) {
+    progress = std::make_unique<ProgressReporter>(
+        program.size(), std::cerr, ProgressReporter::stderr_is_tty());
+  }
   ProgramCompileOptions options;
+  options.progress = progress.get();
   options.block.machine = machine;
   options.block.scheduler = args.scheduler;
   options.block.search.curtail_lambda = args.lambda;
@@ -368,6 +409,7 @@ int run(int argc, char** argv) {
   options.block.emit.mechanism = args.mechanism;
   options.boundary = args.boundary;
   const ProgramCompileResult result = compile_program(program, options);
+  if (progress) progress->finish();
   if (args.stats) {
     std::cerr << "; program: " << result.blocks.size() << " blocks, "
               << result.total_instructions << " instructions, "
@@ -381,6 +423,19 @@ int run(int argc, char** argv) {
   export_records(args, records);
   std::cout << result.assembly;
   return 0;
+}
+
+int run(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (!args.trace_path.empty()) trace_enable();
+  const int code = run_compile(args);
+  if (!args.trace_path.empty()) {
+    trace_disable();
+    trace_write_json(args.trace_path);
+    std::cerr << "; trace written to " << args.trace_path
+              << " (open in chrome://tracing or https://ui.perfetto.dev)\n";
+  }
+  return code;
 }
 
 }  // namespace
