@@ -6,10 +6,13 @@
 // overridden through the PS_CORPUS_RUNS environment variable for quick
 // smoke runs.
 // Observability knobs (shared by every figure/table bench):
-//   PS_TRACE=<path>  record a structured trace of each corpus run and
-//                    write Chrome trace-event JSON to <path> (the file
-//                    covers the most recent run);
-//   PS_PROGRESS=1    live corpus progress on stderr.
+//   PS_TRACE=<path>    record a structured trace of each corpus run and
+//                      write Chrome trace-event JSON to <path> (the file
+//                      covers the most recent run);
+//   PS_METRICS=<path>  enable the metrics registry for the corpus run and
+//                      export the final snapshot to <path> (.prom/.txt =
+//                      Prometheus text exposition, .json = JSON);
+//   PS_PROGRESS=1      live corpus progress on stderr.
 #pragma once
 
 #include <cstdlib>
@@ -20,6 +23,7 @@
 #include "core/corpus_runner.hpp"
 #include "synth/corpus.hpp"
 #include "util/csv.hpp"
+#include "util/metrics.hpp"
 #include "util/progress.hpp"
 #include "util/strings.hpp"
 #include "util/trace.hpp"
@@ -81,6 +85,8 @@ inline std::vector<RunRecord> run_paper_corpus(
   }
   const char* trace_path = std::getenv("PS_TRACE");
   if (trace_path && trace_path[0] != '\0') trace_enable();
+  const char* metrics_path = std::getenv("PS_METRICS");
+  if (metrics_path && metrics_path[0] != '\0') metrics_enable();
 
   std::vector<RunRecord> records =
       run_corpus(corpus_params(spec), run_options);
@@ -90,6 +96,12 @@ inline std::vector<RunRecord> run_paper_corpus(
     trace_write_json(trace_path);
     std::cerr << "trace written to " << trace_path
               << " (open in chrome://tracing or https://ui.perfetto.dev)\n";
+  }
+  if (metrics_path && metrics_path[0] != '\0') {
+    metrics_disable();
+    metrics_write(metrics_path);
+    std::cerr << metrics_summary_line() << " written to " << metrics_path
+              << "\n";
   }
   return records;
 }

@@ -1,0 +1,324 @@
+#include "core/bench_diff.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace pipesched {
+
+namespace {
+
+using Status = BenchDiffLine::Status;
+
+std::string render_number(double v) {
+  std::ostringstream oss;
+  // Exact fields are integers; render them without a trailing ".0" so
+  // the table reads like the JSON does.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    oss << static_cast<long long>(v);
+  } else {
+    oss << v;
+  }
+  return oss.str();
+}
+
+class Differ {
+ public:
+  Differ(const JsonValue& baseline, const JsonValue& candidate,
+         const BenchDiffOptions& options)
+      : baseline_(baseline), candidate_(candidate), options_(options) {}
+
+  BenchDiffResult run() {
+    // Config identity: a diff across different machines or budgets is
+    // apples to oranges, so these fail like correctness fields.
+    exact_string({"machine"});
+    exact({"curtail_lambda"});
+    exact({"deadline_seconds"});
+
+    // Correctness-critical exact totals.
+    for (const char* field :
+         {"blocks", "errors", "optimal_blocks", "infeasible_blocks",
+          "curtailed_lambda_blocks", "curtailed_deadline_blocks",
+          "total_initial_nops", "total_final_nops"}) {
+      exact({"metrics", field});
+    }
+
+    // Search-shape totals: report, never fail.
+    for (const char* field :
+         {"total_omega_calls", "total_nodes_expanded",
+          "total_schedules_examined", "total_cache_probes",
+          "total_cache_hits"}) {
+      info({"metrics", field});
+    }
+
+    // Timing: noise-aware.
+    timing({"total_wall_seconds"});
+    for (const char* column : {"completed", "truncated", "total"}) {
+      for (const char* field :
+           {"avg_seconds", "p50_seconds", "p90_seconds", "p99_seconds"}) {
+        timing({column, field});
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  static std::string joined(const std::vector<std::string>& path) {
+    std::string out;
+    for (const std::string& p : path) {
+      if (!out.empty()) out += '.';
+      out += p;
+    }
+    return out;
+  }
+
+  void push(Status status, const std::vector<std::string>& path,
+            std::string base, std::string cand, std::string delta) {
+    if (status == Status::Regressed || status == Status::Mismatch ||
+        status == Status::Missing) {
+      ++result_.regressions;
+    }
+    result_.lines.push_back({status, joined(path), std::move(base),
+                             std::move(cand), std::move(delta)});
+  }
+
+  /// Both values as numbers, or report Missing (exact/timing) and return
+  /// false. `missing_fails` is false for info fields. A field absent from
+  /// BOTH sides is skipped entirely: the two artifacts agree on their
+  /// schema (e.g. jsonl aggregations carry no machine config), so only
+  /// one-sided absence is drift worth failing on.
+  bool numbers(const std::vector<std::string>& path, bool missing_fails,
+               double& base, double& cand) {
+    const JsonValue* b = baseline_.find_path(path);
+    const JsonValue* c = candidate_.find_path(path);
+    if (b == nullptr && c == nullptr) return false;
+    if (b == nullptr || c == nullptr || !b->is_number() || !c->is_number()) {
+      const auto render = [](const JsonValue* v) {
+        return v != nullptr && v->is_number() ? render_number(v->as_number())
+                                              : std::string("-");
+      };
+      push(missing_fails ? Status::Missing : Status::Info, path, render(b),
+           render(c), "");
+      return false;
+    }
+    base = b->as_number();
+    cand = c->as_number();
+    return true;
+  }
+
+  void exact(const std::vector<std::string>& path) {
+    double base = 0, cand = 0;
+    if (!numbers(path, /*missing_fails=*/true, base, cand)) return;
+    push(base == cand ? Status::Ok : Status::Mismatch, path,
+         render_number(base), render_number(cand),
+         base == cand ? "" : render_number(cand - base));
+  }
+
+  void exact_string(const std::vector<std::string>& path) {
+    const JsonValue* b = baseline_.find_path(path);
+    const JsonValue* c = candidate_.find_path(path);
+    const auto render = [](const JsonValue* v) {
+      return v != nullptr && v->is_string() ? v->as_string()
+                                            : std::string("-");
+    };
+    if (b == nullptr && c == nullptr) return;
+    if (b == nullptr || c == nullptr || !b->is_string() || !c->is_string()) {
+      push(Status::Missing, path, render(b), render(c), "");
+      return;
+    }
+    push(b->as_string() == c->as_string() ? Status::Ok : Status::Mismatch,
+         path, b->as_string(), c->as_string(), "");
+  }
+
+  void info(const std::vector<std::string>& path) {
+    double base = 0, cand = 0;
+    if (!numbers(path, /*missing_fails=*/false, base, cand)) return;
+    std::string delta;
+    if (base != cand) {
+      std::ostringstream oss;
+      oss << (cand > base ? "+" : "") << render_number(cand - base);
+      if (base != 0) {
+        oss << " (" << (cand > base ? "+" : "")
+            << compact_double(100.0 * (cand - base) / base, 3) << "%)";
+      }
+      delta = oss.str();
+    }
+    push(Status::Info, path, render_number(base), render_number(cand),
+         std::move(delta));
+  }
+
+  void timing(const std::vector<std::string>& path) {
+    double base = 0, cand = 0;
+    if (!numbers(path, /*missing_fails=*/true, base, cand)) return;
+    const double diff = cand - base;
+    const bool beyond_rel = cand > base * (1.0 + options_.rel_tol);
+    const bool beyond_abs = diff > options_.abs_floor_seconds;
+    const Status status =
+        beyond_rel && beyond_abs ? Status::Regressed : Status::Ok;
+    std::ostringstream delta;
+    delta << (diff >= 0 ? "+" : "") << compact_double(diff * 1e6, 4) << "us";
+    if (base > 0) {
+      delta << " (" << (diff >= 0 ? "+" : "")
+            << compact_double(100.0 * diff / base, 3) << "%)";
+    }
+    push(status, path, compact_double(base * 1e6, 4) + "us",
+         compact_double(cand * 1e6, 4) + "us", delta.str());
+  }
+
+  const JsonValue& baseline_;
+  const JsonValue& candidate_;
+  const BenchDiffOptions options_;
+  BenchDiffResult result_;
+};
+
+double number_or(const JsonValue& record, const char* key, double fallback) {
+  const JsonValue* v = record.find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+bool bool_field(const JsonValue& record, const char* key, bool fallback) {
+  const JsonValue* v = record.find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+}  // namespace
+
+BenchDiffResult diff_bench_rollups(const JsonValue& baseline,
+                                   const JsonValue& candidate,
+                                   const BenchDiffOptions& options) {
+  return Differ(baseline, candidate, options).run();
+}
+
+JsonValue rollup_from_records(const std::vector<JsonValue>& records) {
+  std::uint64_t initial_nops = 0, final_nops = 0, omega = 0, nodes = 0,
+                examined = 0, probes = 0, hits = 0;
+  std::size_t errors = 0, infeasible = 0, optimal = 0, curtailed_lambda = 0,
+              curtailed_deadline = 0;
+  double total_seconds = 0;
+  std::vector<double> seconds;
+  seconds.reserve(records.size());
+  for (const JsonValue& r : records) {
+    const JsonValue* error = r.find("error");
+    if (error != nullptr && error->is_string() &&
+        !error->as_string().empty()) {
+      ++errors;
+      continue;
+    }
+    const bool feasible = bool_field(r, "feasible", true);
+    if (feasible) {
+      initial_nops +=
+          static_cast<std::uint64_t>(number_or(r, "initial_nops", 0));
+      final_nops += static_cast<std::uint64_t>(number_or(r, "final_nops", 0));
+    } else {
+      ++infeasible;
+    }
+    if (bool_field(r, "completed", false)) ++optimal;
+    const JsonValue* reason = r.find("curtail_reason");
+    if (reason != nullptr && reason->is_string()) {
+      if (reason->as_string() == "lambda") ++curtailed_lambda;
+      if (reason->as_string() == "deadline") ++curtailed_deadline;
+    }
+    omega += static_cast<std::uint64_t>(number_or(r, "omega_calls", 0));
+    nodes += static_cast<std::uint64_t>(number_or(r, "nodes_expanded", 0));
+    examined +=
+        static_cast<std::uint64_t>(number_or(r, "schedules_examined", 0));
+    probes += static_cast<std::uint64_t>(number_or(r, "cache_probes", 0));
+    hits += static_cast<std::uint64_t>(number_or(r, "cache_hits", 0));
+    const double s = number_or(r, "seconds", 0);
+    total_seconds += s;
+    seconds.push_back(s);
+  }
+
+  std::vector<std::pair<std::string, JsonValue>> metrics;
+  auto metric = [&](const char* key, double v) {
+    metrics.emplace_back(key, JsonValue::make_number(v));
+  };
+  metric("blocks", static_cast<double>(records.size()));
+  metric("errors", static_cast<double>(errors));
+  metric("optimal_blocks", static_cast<double>(optimal));
+  metric("infeasible_blocks", static_cast<double>(infeasible));
+  metric("curtailed_lambda_blocks", static_cast<double>(curtailed_lambda));
+  metric("curtailed_deadline_blocks",
+         static_cast<double>(curtailed_deadline));
+  metric("total_initial_nops", static_cast<double>(initial_nops));
+  metric("total_final_nops", static_cast<double>(final_nops));
+  metric("total_omega_calls", static_cast<double>(omega));
+  metric("total_nodes_expanded", static_cast<double>(nodes));
+  metric("total_schedules_examined", static_cast<double>(examined));
+  metric("total_cache_probes", static_cast<double>(probes));
+  metric("total_cache_hits", static_cast<double>(hits));
+
+  std::vector<std::pair<std::string, JsonValue>> total_col;
+  if (!seconds.empty()) {
+    const auto n = static_cast<double>(seconds.size());
+    total_col.emplace_back("avg_seconds",
+                           JsonValue::make_number(total_seconds / n));
+    const std::vector<double> qs =
+        quantiles(std::move(seconds), {50.0, 90.0, 99.0});
+    total_col.emplace_back("p50_seconds", JsonValue::make_number(qs[0]));
+    total_col.emplace_back("p90_seconds", JsonValue::make_number(qs[1]));
+    total_col.emplace_back("p99_seconds", JsonValue::make_number(qs[2]));
+  } else {
+    for (const char* key :
+         {"avg_seconds", "p50_seconds", "p90_seconds", "p99_seconds"}) {
+      total_col.emplace_back(key, JsonValue::make_number(0));
+    }
+  }
+
+  std::vector<std::pair<std::string, JsonValue>> root;
+  root.emplace_back("total_wall_seconds",
+                    JsonValue::make_number(total_seconds));
+  root.emplace_back("metrics", JsonValue::make_object(std::move(metrics)));
+  root.emplace_back("total", JsonValue::make_object(std::move(total_col)));
+  return JsonValue::make_object(std::move(root));
+}
+
+BenchDiffResult diff_bench_files(const std::string& baseline_path,
+                                 const std::string& candidate_path,
+                                 const BenchDiffOptions& options) {
+  auto load = [](const std::string& path) {
+    if (path.size() >= 6 &&
+        path.compare(path.size() - 6, 6, ".jsonl") == 0) {
+      return rollup_from_records(parse_jsonl_file(path));
+    }
+    return parse_json_file(path);
+  };
+  const JsonValue baseline = load(baseline_path);
+  const JsonValue candidate = load(candidate_path);
+  return diff_bench_rollups(baseline, candidate, options);
+}
+
+std::string render_bench_diff(const BenchDiffResult& result) {
+  auto status_name = [](Status s) -> const char* {
+    switch (s) {
+      case Status::Ok: return "ok";
+      case Status::Info: return "info";
+      case Status::Regressed: return "REGRESSED";
+      case Status::Mismatch: return "MISMATCH";
+      case Status::Missing: return "MISSING";
+    }
+    return "?";
+  };
+  std::ostringstream oss;
+  oss << pad_right("status", 11) << pad_right("field", 34)
+      << pad_left("baseline", 16) << "  " << pad_left("candidate", 16)
+      << "  delta\n";
+  for (const BenchDiffLine& line : result.lines) {
+    oss << pad_right(status_name(line.status), 11)
+        << pad_right(line.field, 34) << pad_left(line.baseline, 16) << "  "
+        << pad_left(line.candidate, 16) << "  " << line.delta << "\n";
+  }
+  oss << (result.ok()
+              ? "bench_diff: OK"
+              : "bench_diff: FAIL (" + std::to_string(result.regressions) +
+                    " failing field(s))")
+      << "\n";
+  return oss.str();
+}
+
+}  // namespace pipesched

@@ -8,10 +8,16 @@
 #include "sched/greedy_scheduler.hpp"
 #include "sched/list_scheduler.hpp"
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
 
 namespace pipesched {
+
+LogHistogram& compile_stage_histogram(const char* stage) {
+  return metrics_histogram("ps_compile_stage_seconds", {{"stage", stage}},
+                           "Wall-clock seconds per compile stage");
+}
 
 const char* scheduler_kind_name(SchedulerKind kind) {
   switch (kind) {
@@ -100,26 +106,36 @@ CompileResult compile_block(const BasicBlock& block,
   CompileResult result;
   {
     PS_TRACE_SPAN("optimize");
+    static LogHistogram& h = compile_stage_histogram("optimize");
+    MetricTimer timer(h);
     result.block = prepare_block(block, options);
     result.block.validate();
   }
 
   const DepGraph dag = [&] {
     PS_TRACE_SPAN("dag_build");
+    static LogHistogram& h = compile_stage_histogram("dag_build");
+    MetricTimer timer(h);
     return DepGraph(result.block);
   }();
   {
     PS_TRACE_SPAN("schedule");
+    static LogHistogram& h = compile_stage_histogram("schedule");
+    MetricTimer timer(h);
     result.schedule = run_scheduler(options.scheduler, options.machine, dag,
                                     options.search, &result.stats);
   }
   {
     PS_TRACE_SPAN("regalloc");
+    static LogHistogram& h = compile_stage_histogram("regalloc");
+    MetricTimer timer(h);
     result.allocation =
         linear_scan(result.block, result.schedule.order, options.registers);
   }
   {
     PS_TRACE_SPAN("emit");
+    static LogHistogram& h = compile_stage_histogram("emit");
+    MetricTimer timer(h);
     result.assembly = emit_assembly(result.block, options.machine,
                                     result.schedule, result.allocation,
                                     options.emit);
@@ -132,6 +148,8 @@ CompileResult compile_source(const std::string& source,
   BasicBlock tuples;
   {
     PS_TRACE_SPAN("parse");
+    static LogHistogram& h = compile_stage_histogram("parse");
+    MetricTimer timer(h);
     const SourceProgram program = parse_source(source);
     tuples = generate_tuples(program);
   }

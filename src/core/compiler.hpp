@@ -31,6 +31,14 @@ enum class SchedulerKind {
 
 const char* scheduler_kind_name(SchedulerKind kind);
 
+class LogHistogram;
+
+/// Shared `ps_compile_stage_seconds{stage=...}` family for the compile
+/// pipeline's wall-time histograms (used by both the single-block and the
+/// whole-program compilers; find-or-create, so call sites can cache the
+/// reference in a static local).
+LogHistogram& compile_stage_histogram(const char* stage);
+
 struct CompileOptions {
   Machine machine = Machine::paper_simulation();
   SchedulerKind scheduler = SchedulerKind::Optimal;

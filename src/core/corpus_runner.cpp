@@ -7,6 +7,7 @@
 #include "ir/dag.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
+#include "util/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -69,10 +70,20 @@ std::vector<RunRecord> run_corpus(const std::vector<GeneratorParams>& params,
   std::vector<RunRecord> records(params.size());
   ThreadPool pool(options.threads);
   std::atomic<std::uint64_t> blocks_done{0};
+  static Counter& blocks_ok = metrics_counter(
+      "ps_corpus_blocks_total", {{"status", "ok"}},
+      "Corpus blocks processed, by outcome");
+  static Counter& blocks_errored = metrics_counter(
+      "ps_corpus_blocks_total", {{"status", "error"}},
+      "Corpus blocks processed, by outcome");
+  static LogHistogram& block_seconds = metrics_histogram(
+      "ps_corpus_block_seconds", {},
+      "Wall-clock seconds per corpus block (generate + schedule)");
   parallel_for_each(pool, params.size(), [&](std::size_t i) {
     // Per-block span on the worker's own track: the timeline shows which
     // worker ran which block and how the pool's load balanced.
     PS_TRACE_SPAN("corpus_block");
+    MetricTimer block_timer(block_seconds);
     RunRecord& record = records[i];
     BasicBlock block;
     try {
@@ -103,6 +114,7 @@ std::vector<RunRecord> run_corpus(const std::vector<GeneratorParams>& params,
                         blocks_done.fetch_add(1, std::memory_order_relaxed) +
                         1));
     }
+    (record.error.empty() ? blocks_ok : blocks_errored).increment();
     if (options.progress) options.progress->add(!record.error.empty());
   });
   if (options.progress) options.progress->finish();
@@ -289,6 +301,25 @@ std::string render_corpus_summary(const CorpusSummary& summary) {
   row("Avg. Pressure Prunes", [](const CorpusSummary::Column& c) {
     return compact_double(c.avg_pruned_pressure, 4);
   });
+  if (metrics_enabled()) {
+    // Registry cross-check: process-wide totals accumulated by the
+    // instrumentation layers during this (and any earlier) corpus run.
+    const MetricsSnapshot snapshot = metrics_snapshot();
+    oss << "\nmetrics-derived totals: "
+        << static_cast<std::uint64_t>(snapshot.value_or_zero(
+               "ps_corpus_blocks_total", {{"status", "ok"}}))
+        << " blocks ok, "
+        << static_cast<std::uint64_t>(snapshot.value_or_zero(
+               "ps_corpus_blocks_total", {{"status", "error"}}))
+        << " errored, "
+        << static_cast<std::uint64_t>(
+               snapshot.value_or_zero("ps_search_runs_total"))
+        << " searches, "
+        << static_cast<std::uint64_t>(
+               snapshot.value_or_zero("ps_search_nodes_expanded_total"))
+        << " nodes expanded\n"
+        << metrics_summary_line() << "\n";
+  }
   return oss.str();
 }
 
@@ -421,7 +452,64 @@ void write_bench_column(std::ostream& out, const char* name,
 
 }  // namespace
 
+namespace {
+
+/// The exact-integer roll-up: deterministic for a fixed corpus seed, so
+/// bench_diff can compare these fields bit-for-bit where the summary
+/// averages would drift through floating-point formatting.
+void write_bench_metrics(std::ostream& out,
+                         const std::vector<RunRecord>& records,
+                         const char* indent) {
+  std::uint64_t initial_nops = 0, final_nops = 0, omega = 0, nodes = 0,
+                examined = 0, probes = 0, hits = 0;
+  std::size_t errors = 0, infeasible = 0, optimal = 0, curtailed_lambda = 0,
+              curtailed_deadline = 0;
+  for (const RunRecord& r : records) {
+    if (!r.error.empty()) {
+      ++errors;
+      continue;
+    }
+    if (r.feasible) {
+      initial_nops += static_cast<std::uint64_t>(r.initial_nops);
+      final_nops += static_cast<std::uint64_t>(r.final_nops);
+    } else {
+      ++infeasible;
+    }
+    if (r.completed) ++optimal;
+    if (r.curtail_reason == CurtailReason::Lambda) ++curtailed_lambda;
+    if (r.curtail_reason == CurtailReason::Deadline) ++curtailed_deadline;
+    omega += r.omega_calls;
+    nodes += r.nodes_expanded;
+    examined += r.schedules_examined;
+    probes += r.cache_probes;
+    hits += r.cache_hits;
+  }
+  out << indent << json_quote("metrics") << ": {\n";
+  const std::string inner = std::string(indent) + "  ";
+  auto field = [&](const char* key, std::uint64_t value, bool last) {
+    out << inner << json_quote(key) << ": " << value
+        << (last ? "\n" : ",\n");
+  };
+  field("blocks", records.size(), false);
+  field("errors", errors, false);
+  field("optimal_blocks", optimal, false);
+  field("infeasible_blocks", infeasible, false);
+  field("curtailed_lambda_blocks", curtailed_lambda, false);
+  field("curtailed_deadline_blocks", curtailed_deadline, false);
+  field("total_initial_nops", initial_nops, false);
+  field("total_final_nops", final_nops, false);
+  field("total_omega_calls", omega, false);
+  field("total_nodes_expanded", nodes, false);
+  field("total_schedules_examined", examined, false);
+  field("total_cache_probes", probes, false);
+  field("total_cache_hits", hits, true);
+  out << indent << "}";
+}
+
+}  // namespace
+
 void write_corpus_bench_json(const CorpusSummary& summary,
+                             const std::vector<RunRecord>& records,
                              const CorpusBenchMeta& meta,
                              const std::string& path) {
   std::ofstream out(path);
@@ -435,6 +523,8 @@ void write_corpus_bench_json(const CorpusSummary& summary,
       << meta.deadline_seconds << ",\n";
   out << "  " << json_quote("total_wall_seconds") << ": "
       << meta.total_wall_seconds << ",\n";
+  write_bench_metrics(out, records, "  ");
+  out << ",\n";
   write_bench_column(out, "completed", summary.completed, "  ");
   out << ",\n";
   write_bench_column(out, "truncated", summary.truncated, "  ");

@@ -146,8 +146,12 @@ struct CorpusBenchMeta {
 };
 
 /// Single-JSON-object roll-up of a corpus run (summary columns + run
-/// metadata) so successive PRs can track the perf trajectory.
+/// metadata + a "metrics" section of exact integer totals computed from
+/// `records`) so successive PRs can track the perf trajectory. The exact
+/// totals are what `bench_diff` compares bit-for-bit: unlike the summary
+/// averages they carry no floating-point formatting noise.
 void write_corpus_bench_json(const CorpusSummary& summary,
+                             const std::vector<RunRecord>& records,
                              const CorpusBenchMeta& meta,
                              const std::string& path);
 

@@ -2,11 +2,13 @@
 
 #include <sstream>
 
+#include "core/compiler.hpp"
 #include "frontend/opt/passes.hpp"
 #include "frontend/parser.hpp"
 #include "frontend/program_codegen.hpp"
 #include "ir/dag.hpp"
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace pipesched {
@@ -65,6 +67,8 @@ ProgramCompileResult compile_program(const Program& program,
     CompiledBlock compiled;
     {
       PS_TRACE_SPAN("optimize");
+      static LogHistogram& h = compile_stage_histogram("optimize");
+      MetricTimer timer(h);
       compiled.optimized = options.block.optimize
                                ? run_standard_pipeline(pb.block)
                                : pb.block;
@@ -73,6 +77,8 @@ ProgramCompileResult compile_program(const Program& program,
 
     const DepGraph dag = [&] {
       PS_TRACE_SPAN("dag_build");
+      static LogHistogram& h = compile_stage_histogram("dag_build");
+      MetricTimer timer(h);
       return DepGraph(compiled.optimized);
     }();
     compiled.chained = options.boundary == BoundaryMode::Chain &&
@@ -84,12 +90,16 @@ ProgramCompileResult compile_program(const Program& program,
 
     {
       PS_TRACE_SPAN("schedule");
+      static LogHistogram& h = compile_stage_histogram("schedule");
+      MetricTimer timer(h);
       compiled.schedule =
           run_scheduler(options.block.scheduler, options.block.machine, dag,
                         options.block.search, &compiled.stats, entry);
     }
     {
       PS_TRACE_SPAN("regalloc");
+      static LogHistogram& h = compile_stage_histogram("regalloc");
+      MetricTimer timer(h);
       compiled.allocation = linear_scan(compiled.optimized,
                                         compiled.schedule.order,
                                         options.block.registers);
@@ -116,6 +126,8 @@ ProgramCompileResult compile_program(const Program& program,
     body.set_label("");
     {
       PS_TRACE_SPAN("emit");
+      static LogHistogram& h = compile_stage_histogram("emit");
+      MetricTimer timer(h);
       assembly << emit_assembly(body, options.block.machine,
                                 compiled.schedule, compiled.allocation,
                                 options.block.emit);
@@ -133,6 +145,8 @@ ProgramCompileResult compile_program_source(
     const std::string& source, const ProgramCompileOptions& options) {
   Program program = [&] {
     PS_TRACE_SPAN("parse");
+    static LogHistogram& h = compile_stage_histogram("parse");
+    MetricTimer timer(h);
     const SourceProgram parsed = parse_source(source);
     return generate_program(parsed);
   }();

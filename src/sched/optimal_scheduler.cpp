@@ -8,12 +8,95 @@
 #include "sched/list_scheduler.hpp"
 #include "util/check.hpp"
 #include "util/dominance_cache.hpp"
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
 
 namespace pipesched {
 
 namespace {
+
+/// Publish one finished search's SearchStats into the metrics registry.
+/// The hot loop keeps mutating plain local counters (zero added cost per
+/// node); the registry receives the totals in one batch here, so registry
+/// sums are exactly the sums of the per-search stats — a property the
+/// test suite asserts.
+void flush_search_metrics(const SearchStats& stats) {
+  if (!metrics_enabled()) return;
+  static Counter& runs = metrics_counter(
+      "ps_search_runs_total", {}, "Branch-and-bound searches completed");
+  static Counter& nodes = metrics_counter(
+      "ps_search_nodes_expanded_total", {}, "Search-tree nodes expanded");
+  static Counter& omega = metrics_counter(
+      "ps_search_omega_calls_total", {},
+      "Incremental NOP-insertion (omega) invocations");
+  static Counter& examined = metrics_counter(
+      "ps_search_schedules_examined_total", {},
+      "Complete schedules compared against the incumbent");
+  static Counter& improved = metrics_counter(
+      "ps_search_incumbent_improvements_total", {},
+      "Times a complete schedule strictly beat the incumbent");
+  static const char* kPrunesHelp =
+      "Branches killed, by pruning rule (see optimal_scheduler.hpp)";
+  static Counter& pruned_window = metrics_counter(
+      "ps_search_pruned_total", {{"rule", "window"}}, kPrunesHelp);
+  static Counter& pruned_readiness = metrics_counter(
+      "ps_search_pruned_total", {{"rule", "readiness"}}, kPrunesHelp);
+  static Counter& pruned_equivalence = metrics_counter(
+      "ps_search_pruned_total", {{"rule", "equivalence"}}, kPrunesHelp);
+  static Counter& pruned_alpha_beta = metrics_counter(
+      "ps_search_pruned_total", {{"rule", "alpha_beta"}}, kPrunesHelp);
+  static Counter& pruned_lower_bound = metrics_counter(
+      "ps_search_pruned_total", {{"rule", "lower_bound"}}, kPrunesHelp);
+  static Counter& pruned_dominance = metrics_counter(
+      "ps_search_pruned_total", {{"rule", "dominance"}}, kPrunesHelp);
+  static Counter& pruned_pressure = metrics_counter(
+      "ps_search_pruned_total", {{"rule", "pressure"}}, kPrunesHelp);
+  static const char* kCacheHelp =
+      "Dominance/transposition cache traffic, by event";
+  static Counter& cache_probes = metrics_counter(
+      "ps_search_cache_events_total", {{"event", "probe"}}, kCacheHelp);
+  static Counter& cache_hits = metrics_counter(
+      "ps_search_cache_events_total", {{"event", "hit"}}, kCacheHelp);
+  static Counter& cache_misses = metrics_counter(
+      "ps_search_cache_events_total", {{"event", "miss"}}, kCacheHelp);
+  static Counter& cache_evictions = metrics_counter(
+      "ps_search_cache_events_total", {{"event", "evict"}}, kCacheHelp);
+  static Counter& cache_superseded = metrics_counter(
+      "ps_search_cache_events_total", {{"event", "supersede"}}, kCacheHelp);
+  static const char* kCurtailHelp =
+      "Searches truncated before exhausting the space, by expired budget";
+  static Counter& curtailed_lambda = metrics_counter(
+      "ps_search_curtailed_total", {{"reason", "lambda"}}, kCurtailHelp);
+  static Counter& curtailed_deadline = metrics_counter(
+      "ps_search_curtailed_total", {{"reason", "deadline"}}, kCurtailHelp);
+  static LogHistogram& seconds = metrics_histogram(
+      "ps_search_seconds", {}, "Wall-clock seconds per search");
+
+  runs.increment();
+  nodes.add(stats.nodes_expanded);
+  omega.add(stats.omega_calls);
+  examined.add(stats.schedules_examined);
+  improved.add(stats.incumbent_improvements);
+  pruned_window.add(stats.pruned_window);
+  pruned_readiness.add(stats.pruned_readiness);
+  pruned_equivalence.add(stats.pruned_equivalence);
+  pruned_alpha_beta.add(stats.pruned_alpha_beta);
+  pruned_lower_bound.add(stats.pruned_lower_bound);
+  pruned_dominance.add(stats.pruned_dominance);
+  pruned_pressure.add(stats.pruned_pressure);
+  cache_probes.add(stats.cache_probes);
+  cache_hits.add(stats.cache_hits);
+  cache_misses.add(stats.cache_misses);
+  cache_evictions.add(stats.cache_evictions);
+  cache_superseded.add(stats.cache_superseded);
+  if (stats.curtail_reason == CurtailReason::Lambda) {
+    curtailed_lambda.increment();
+  } else if (stats.curtail_reason == CurtailReason::Deadline) {
+    curtailed_deadline.increment();
+  }
+  seconds.observe(stats.seconds);
+}
 
 /// Partition tuples into equivalence classes for prune [5c].
 /// Paper rule: every sigma-empty, rho-empty instruction shares one class
@@ -201,6 +284,7 @@ class Search {
       result.stats.pruned_dominance = cs.hits;
     }
     result.stats.seconds = wall.seconds();
+    flush_search_metrics(result.stats);
     return result;
   }
 
@@ -404,6 +488,7 @@ class Search {
       if (timer_.total_nops() < best_nops_) {
         best_nops_ = timer_.total_nops();
         *best_schedule_ = timer_.snapshot();
+        ++stats_->incumbent_improvements;
       }
       return;
     }

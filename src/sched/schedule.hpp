@@ -105,6 +105,10 @@ struct SearchStats {
   std::uint64_t cache_evictions = 0;   ///< entries displaced (budget full)
   std::uint64_t cache_superseded = 0;  ///< cached cost improved in place
 
+  /// Times a complete schedule strictly beat the incumbent (the seed's
+  /// initial evaluation is not counted).
+  std::uint64_t incumbent_improvements = 0;
+
   double seconds = 0.0;
 };
 

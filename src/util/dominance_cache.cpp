@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace pipesched {
@@ -32,6 +33,34 @@ DominanceCache::DominanceCache(std::size_t max_bytes) {
   max_entries_ =
       std::max(kMinEntries, floor_pow2(max_bytes / sizeof(Entry)));
   entries_.assign(std::min(kMinEntries, max_entries_), Entry{});
+}
+
+DominanceCache::~DominanceCache() {
+  // Substrate-level view of cache behavior, distinct from the per-search
+  // ps_search_cache_events_total family: these describe the table itself
+  // (how full it ran, how much it churned), accumulated as each
+  // per-search cache retires.
+  if (!metrics_enabled() || stats_.probes == 0) return;
+  static Gauge& entries = metrics_gauge(
+      "ps_dominance_cache_entries", {},
+      "Occupied entries in the most recently retired dominance cache");
+  static Gauge& cap = metrics_gauge(
+      "ps_dominance_cache_capacity", {},
+      "Slot capacity of the most recently retired dominance cache");
+  static Counter& inserts = metrics_counter(
+      "ps_dominance_cache_inserts_total", {},
+      "Entries created across all retired dominance caches");
+  static Counter& evictions = metrics_counter(
+      "ps_dominance_cache_evictions_total", {},
+      "Entries displaced across all retired dominance caches");
+  static Counter& superseded = metrics_counter(
+      "ps_dominance_cache_superseded_total", {},
+      "Cached costs improved in place across all retired caches");
+  entries.set(static_cast<double>(used_));
+  cap.set(static_cast<double>(entries_.size()));
+  inserts.add(stats_.inserts);
+  evictions.add(stats_.evictions);
+  superseded.add(stats_.superseded);
 }
 
 bool DominanceCache::place(std::vector<Entry>& table, const Entry& e) {

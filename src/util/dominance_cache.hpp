@@ -78,6 +78,12 @@ class DominanceCache {
   /// budget, so per-search construction cost stays proportional to use.
   explicit DominanceCache(std::size_t max_bytes = kDefaultBytes);
 
+  /// Publishes the cache's lifetime traffic (occupancy, inserts,
+  /// evictions, supersedes) to the metrics registry when metrics are
+  /// enabled and the cache saw any probes. Caches are per-search, so the
+  /// registry accumulates substrate totals across searches.
+  ~DominanceCache();
+
   /// One combined lookup/store at `depth` with partial cost `cost`:
   /// returns true when a cached visit of the same (key, depth) had
   /// equal-or-lower cost — the caller's branch is dominated and should be

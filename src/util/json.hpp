@@ -1,0 +1,75 @@
+// Minimal JSON reader for the tooling layer.
+//
+// The repo's exporters (JsonlWriter, trace_write_json,
+// write_corpus_bench_json, metrics JSON snapshots) only ever *write* JSON;
+// the bench regression gate and the test suite also need to *read* it back
+// — without adding an external dependency. This is a small, strict,
+// recursive-descent parser over the full JSON grammar (RFC 8259): objects
+// preserve key order, numbers are doubles, \uXXXX escapes decode to UTF-8
+// (surrogate pairs included). Malformed input throws pipesched::Error with
+// a byte offset, never yields a half-parsed value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pipesched {
+
+/// One parsed JSON value. A tagged union kept deliberately simple:
+/// accessors check the kind (throwing Error on mismatch) so consumers can
+/// chain lookups without defensive branching.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Checked accessors: throw pipesched::Error on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::vector<std::pair<std::string, JsonValue>>& as_object() const;
+
+  /// Object member lookup (first match); null when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Nested lookup: find("a")->find("b") without the null checks; null as
+  /// soon as any step is absent.
+  const JsonValue* find_path(const std::vector<std::string>& keys) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parse one complete JSON document; trailing non-whitespace is an error.
+JsonValue parse_json(const std::string& text);
+
+/// Parse the JSON document stored at `path`; throws Error on I/O failure.
+JsonValue parse_json_file(const std::string& path);
+
+/// Parse a JSON-lines file: one document per non-empty line.
+std::vector<JsonValue> parse_jsonl_file(const std::string& path);
+
+}  // namespace pipesched

@@ -6,9 +6,28 @@
 #include <string>
 
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace pipesched {
+
+namespace {
+
+/// Pending tasks across all pools, maintained as an up/down gauge
+/// (+1 on submit, -1 on dequeue) so concurrent pools compose.
+Gauge& queue_depth_gauge() {
+  static Gauge& g = metrics_gauge("ps_thread_pool_queue_depth", {},
+                                  "Tasks queued but not yet started");
+  return g;
+}
+
+Counter& tasks_counter() {
+  static Counter& c = metrics_counter("ps_thread_pool_tasks_total", {},
+                                      "Tasks executed to completion");
+  return c;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -43,6 +62,7 @@ void ThreadPool::submit(std::function<void()> task) {
     queue_.push(std::move(task));
     ++in_flight_;
   }
+  queue_depth_gauge().add(1);
   cv_task_.notify_one();
 }
 
@@ -61,7 +81,9 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    queue_depth_gauge().add(-1);
     task();
+    tasks_counter().increment();
     {
       std::unique_lock lock(mutex_);
       --in_flight_;

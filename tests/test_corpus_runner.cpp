@@ -21,6 +21,7 @@
 #include "sim/simulator.hpp"
 #include "synth/generator.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace pipesched {
 namespace {
@@ -305,7 +306,7 @@ TEST(CorpusRunner, ExportsAndRollupSurviveFaultAndDeadline) {
   meta.curtail_lambda = options.search.curtail_lambda;
   meta.deadline_seconds = options.search.deadline_seconds;
   meta.total_wall_seconds = 1.0;
-  write_corpus_bench_json(summary, meta, bench_path);
+  write_corpus_bench_json(summary, records, meta, bench_path);
 
   const std::string csv = slurp(csv_path);
   const std::string jsonl = slurp(jsonl_path);
@@ -333,6 +334,42 @@ TEST(CorpusRunner, ExportsAndRollupSurviveFaultAndDeadline) {
   EXPECT_NE(bench.find("\"errors\""), std::string::npos);
   EXPECT_NE(bench.find("\"p50_seconds\""), std::string::npos);
   EXPECT_NE(bench.find("\"p99_seconds\""), std::string::npos);
+
+  // The roll-up is valid JSON, and its exact-integer "metrics" section
+  // (the bench_diff gate's correctness fields) reconciles with the
+  // records it was written from.
+  const JsonValue doc = parse_json_file(bench_path);
+  std::uint64_t want_initial = 0, want_final = 0, want_nodes = 0;
+  std::size_t want_errors = 0, want_optimal = 0;
+  for (const RunRecord& r : records) {
+    if (!r.error.empty()) {
+      ++want_errors;
+      continue;
+    }
+    if (r.feasible) {
+      want_initial += static_cast<std::uint64_t>(r.initial_nops);
+      want_final += static_cast<std::uint64_t>(r.final_nops);
+    }
+    if (r.completed) ++want_optimal;
+    want_nodes += r.nodes_expanded;
+  }
+  auto metric = [&](const char* field) {
+    const JsonValue* v = doc.find_path({"metrics", field});
+    PS_CHECK(v != nullptr, "roll-up missing metrics." << field);
+    return static_cast<std::uint64_t>(v->as_number());
+  };
+  EXPECT_EQ(metric("blocks"), records.size());
+  EXPECT_EQ(metric("errors"), want_errors);
+  EXPECT_EQ(metric("optimal_blocks"), want_optimal);
+  EXPECT_EQ(metric("total_initial_nops"), want_initial);
+  EXPECT_EQ(metric("total_final_nops"), want_final);
+  EXPECT_EQ(metric("total_nodes_expanded"), want_nodes);
+  // Cross-check against the summary's own count of the same thing.
+  const JsonValue* col_curtailed =
+      doc.find_path({"total", "curtailed_deadline"});
+  ASSERT_NE(col_curtailed, nullptr);
+  EXPECT_EQ(metric("curtailed_deadline_blocks"),
+            static_cast<std::uint64_t>(col_curtailed->as_number()));
 
   for (const std::string& p : {csv_path, jsonl_path, bench_path}) {
     std::filesystem::remove(p);

@@ -9,6 +9,7 @@
 #include "util/bitset.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -141,6 +142,25 @@ TEST(Stats, QuantilesMatchPercentileWithOneSort) {
 TEST(Stats, QuantilesSingleValue) {
   const std::vector<double> qs = quantiles({42.0}, {0, 50, 99, 100});
   for (double q : qs) EXPECT_DOUBLE_EQ(q, 42.0);
+}
+
+TEST(Stats, PercentileSingleValueIsThatValueForAnyP) {
+  for (double p : {0.0, 1.0, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile({7.5}, p), 7.5) << p;
+  }
+}
+
+TEST(Stats, EmptySampleThrows) {
+  EXPECT_THROW(percentile({}, 50.0), Error);
+  EXPECT_THROW(quantiles({}, {50.0}), Error);
+  // An empty percentile LIST of a non-empty sample is fine: no work.
+  EXPECT_TRUE(quantiles({1.0, 2.0}, {}).empty());
+}
+
+TEST(Stats, PercentileOutOfRangeThrows) {
+  EXPECT_THROW(percentile({1.0, 2.0}, -0.5), Error);
+  EXPECT_THROW(percentile({1.0, 2.0}, 100.5), Error);
+  EXPECT_THROW(quantiles({1.0, 2.0}, {50.0, 101.0}), Error);
 }
 
 TEST(Stats, HistogramAccumulates) {
@@ -313,6 +333,71 @@ TEST(AsciiChart, RendersWithoutCrashing) {
   h.add(2, 10);
   const std::string bars = render_histogram(h, options);
   EXPECT_NE(bars.find("#"), std::string::npos);
+}
+
+TEST(Json, ParsesScalarsObjectsArrays) {
+  const JsonValue doc = parse_json(
+      R"({"a": 1.5, "b": [true, false, null], "c": {"nested": "x"},
+          "neg": -3e2, "big": 123456789})");
+  EXPECT_DOUBLE_EQ(doc.find("a")->as_number(), 1.5);
+  const auto& arr = doc.find("b")->as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[0].as_bool());
+  EXPECT_FALSE(arr[1].as_bool());
+  EXPECT_TRUE(arr[2].is_null());
+  EXPECT_EQ(doc.find_path({"c", "nested"})->as_string(), "x");
+  EXPECT_DOUBLE_EQ(doc.find("neg")->as_number(), -300.0);
+  EXPECT_DOUBLE_EQ(doc.find("big")->as_number(), 123456789.0);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+  EXPECT_EQ(doc.find_path({"c", "absent"}), nullptr);
+}
+
+TEST(Json, DecodesEscapesAndSurrogatePairs) {
+  const JsonValue doc =
+      parse_json(R"({"s": "tab\t quote\" back\\ u\u00e9 \ud83d\ude00"})");
+  const std::string& s = doc.find("s")->as_string();
+  EXPECT_NE(s.find('\t'), std::string::npos);
+  EXPECT_NE(s.find('"'), std::string::npos);
+  EXPECT_NE(s.find('\\'), std::string::npos);
+  EXPECT_NE(s.find("\xc3\xa9"), std::string::npos);          // é
+  EXPECT_NE(s.find("\xf0\x9f\x98\x80"), std::string::npos);  // emoji
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), Error);
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json("{\"a\": }"), Error);
+  EXPECT_THROW(parse_json("[1, 2,]"), Error);
+  EXPECT_THROW(parse_json("01"), Error);       // leading zero
+  EXPECT_THROW(parse_json("1.."), Error);
+  EXPECT_THROW(parse_json("nul"), Error);
+  EXPECT_THROW(parse_json("{} trailing"), Error);
+  EXPECT_THROW(parse_json("\"unterminated"), Error);
+  EXPECT_THROW(parse_json("\"\\ud83d\""), Error);  // lone surrogate
+}
+
+TEST(Json, TypeMismatchAccessorsThrow) {
+  const JsonValue doc = parse_json(R"({"n": 1})");
+  EXPECT_THROW(doc.find("n")->as_string(), Error);
+  EXPECT_THROW(doc.find("n")->as_array(), Error);
+  EXPECT_THROW(doc.as_number(), Error);
+}
+
+TEST(Json, JsonlFileParsesLineByLine) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "ps_test_util.jsonl";
+  {
+    std::ofstream out(path);
+    out << "{\"i\": 0}\n\n{\"i\": 1}\n";  // blank lines are skipped
+  }
+  const std::vector<JsonValue> records = parse_jsonl_file(path.string());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_DOUBLE_EQ(records[1].find("i")->as_number(), 1.0);
+  fs::remove(path);
+  EXPECT_THROW(parse_json_file((fs::temp_directory_path() /
+                                "ps_no_such_file.json")
+                                   .string()),
+               Error);
 }
 
 }  // namespace

@@ -1,0 +1,108 @@
+// bench_diff — the corpus perf regression gate.
+//
+//   bench_diff [options] <baseline> <candidate>
+//
+// Each input is either a BENCH_corpus.json roll-up or a
+// corpus_records.jsonl per-block export (detected by the .jsonl
+// extension and aggregated into the roll-up shape first). Prints a delta
+// table and exits 0 when the candidate passes, 1 on any regression
+// (timing beyond thresholds, exact-field mismatch, or a missing field),
+// 2 on usage or I/O errors.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/bench_diff.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: bench_diff [options] <baseline> <candidate>
+
+Compare two corpus bench artifacts (BENCH_corpus.json roll-ups, or
+corpus_records.jsonl per-block exports aggregated on the fly) and fail on
+regression. Correctness fields (total NOPs, optima, curtailed/errored
+block counts, machine config) must match exactly; timing fields pass
+unless they exceed BOTH the relative tolerance and the absolute floor;
+search-shape fields (nodes, omega calls, cache traffic) are informational.
+
+options:
+  --rel-tol <frac>      relative timing tolerance (default 0.25 = +25%)
+  --abs-floor <sec>     absolute timing floor in seconds (default 1e-4)
+  -q, --quiet           print only the verdict line
+  -h, --help            this text
+
+exit status: 0 pass, 1 regression/mismatch/missing field, 2 bad invocation
+)";
+
+double parse_double_arg(const char* flag, const char* value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    std::cerr << "bench_diff: bad value for " << flag << ": " << value
+              << "\n";
+    std::exit(2);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pipesched::BenchDiffOptions options;
+  bool quiet = false;
+  std::string baseline;
+  std::string candidate;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_diff: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--rel-tol") {
+      options.rel_tol = parse_double_arg("--rel-tol", next());
+    } else if (arg == "--abs-floor") {
+      options.abs_floor_seconds = parse_double_arg("--abs-floor", next());
+    } else if (arg == "-q" || arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "bench_diff: unknown option " << arg << "\n" << kUsage;
+      return 2;
+    } else if (baseline.empty()) {
+      baseline = arg;
+    } else if (candidate.empty()) {
+      candidate = arg;
+    } else {
+      std::cerr << "bench_diff: unexpected argument " << arg << "\n";
+      return 2;
+    }
+  }
+  if (baseline.empty() || candidate.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  try {
+    const pipesched::BenchDiffResult result =
+        pipesched::diff_bench_files(baseline, candidate, options);
+    const std::string table = pipesched::render_bench_diff(result);
+    if (quiet) {
+      // The verdict is the last line of the rendered table.
+      const std::size_t pos = table.rfind("bench_diff:");
+      std::cout << (pos == std::string::npos ? table : table.substr(pos));
+    } else {
+      std::cout << table;
+    }
+    return result.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_diff: " << e.what() << "\n";
+    return 2;
+  }
+}

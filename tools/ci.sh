@@ -52,6 +52,60 @@ traced_smoke() {
 traced_smoke build-ci-release
 traced_smoke build-ci-sanitize
 
+# Metrics-enabled corpus smoke, in BOTH configurations: a small corpus
+# run with PS_METRICS must export a non-empty snapshot in each format —
+# the .prom output must carry well-formed TYPE lines and the search/
+# corpus families, the .json output must satisfy python's strict parser —
+# and psc --metrics must do the same for a single-block compile.
+metrics_smoke() {
+  local build="$1"
+  echo "==== metrics corpus smoke (${build}) ===="
+  local dir
+  dir="$(mktemp -d)"
+  (cd "${dir}" && \
+    PS_CORPUS_RUNS=200 PS_METRICS="${dir}/corpus_metrics.prom" \
+    "${OLDPWD}/${build}/bench/bench_table7" > /dev/null)
+  grep -q '^# TYPE ps_search_nodes_expanded_total counter' \
+    "${dir}/corpus_metrics.prom"
+  # bench_table7 runs the corpus more than once (budgeted + enumerated
+  # protocols), so assert non-zero cumulative totals, not exact counts.
+  grep -Eq '^ps_corpus_blocks_total\{status="ok"\} [1-9][0-9]*$' \
+    "${dir}/corpus_metrics.prom"
+  grep -Eq '^ps_search_seconds_bucket\{le="\+Inf"\} [1-9][0-9]*$' \
+    "${dir}/corpus_metrics.prom"
+  (cd "${dir}" && \
+    PS_CORPUS_RUNS=200 PS_METRICS="${dir}/corpus_metrics.json" \
+    "${OLDPWD}/${build}/bench/bench_table7" > /dev/null)
+  python3 -m json.tool "${dir}/corpus_metrics.json" > /dev/null
+  grep -q '"ps_search_runs_total"' "${dir}/corpus_metrics.json"
+  echo "x = a * b + c; y = x / d;" | \
+    "./${build}/tools/psc" --metrics "${dir}/psc_metrics.json" \
+    > /dev/null 2>&1
+  python3 -m json.tool "${dir}/psc_metrics.json" > /dev/null
+  grep -q '"ps_compile_stage_seconds"' "${dir}/psc_metrics.json"
+  rm -rf "${dir}"
+}
+
+metrics_smoke build-ci-release
+metrics_smoke build-ci-sanitize
+
+# Bench regression gate: re-run the committed baseline's corpus
+# configuration (PS_CORPUS_RUNS must match BENCH_corpus.json, see
+# EXPERIMENTS.md) and diff the fresh roll-up against the committed one.
+# Correctness fields compare exactly; timing fields get a generous CI
+# allowance (shared runners are noisy) on top of the default noise
+# policy. The self-diff guards the gate itself: identical inputs must
+# always exit 0.
+echo "==== bench regression gate (build-ci-release) ===="
+./build-ci-release/tools/bench_diff BENCH_corpus.json BENCH_corpus.json
+gate_dir="$(mktemp -d)"
+(cd "${gate_dir}" && \
+  PS_CORPUS_RUNS=300 "${OLDPWD}/build-ci-release/bench/bench_table7" \
+  > /dev/null)
+./build-ci-release/tools/bench_diff --rel-tol 1.0 \
+  BENCH_corpus.json "${gate_dir}/BENCH_corpus.json"
+rm -rf "${gate_dir}"
+
 # Corpus smoke under the sanitizers: the wall-clock deadline and the
 # per-block fault/reproducer paths are timing- and exception-heavy, so
 # exercise them explicitly beyond their unit tests — first the focused

@@ -27,6 +27,7 @@
 #include "sched/split_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 #include "util/progress.hpp"
 #include "util/strings.hpp"
 #include "util/trace.hpp"
@@ -72,8 +73,8 @@ output:
   --dump-cfg            print the control-flow graph
   --sim-trace           print the pipeline occupancy trace (ASCII)
   --stats               print search statistics (incl. per-prune-rule
-                        counters, search throughput, and the curtail
-                        reason)
+                        counters, search throughput, the curtail
+                        reason, and a metrics snapshot line)
   --csv <path>          write per-block search records as CSV
   --jsonl <path>        write per-block search records as JSON lines
 observability:
@@ -81,6 +82,13 @@ observability:
                         (pipeline phases as nested spans, search
                         heartbeat counters) as Chrome trace-event JSON —
                         open in chrome://tracing or ui.perfetto.dev
+                        (--sim-trace, by contrast, renders the scheduled
+                        machine's cycle-by-cycle pipeline occupancy;
+                        --trace records the compiler's own wall time)
+  --metrics <out>       export a process metrics snapshot (counters,
+                        gauges, histograms across search, thread pool,
+                        cache, and compile stages); format by extension:
+                        .prom/.txt = Prometheus text, .json = JSON
   --progress            live per-block progress on stderr (blocks
                         done/total, errors, blocks/s, ETA)
   --help
@@ -109,6 +117,7 @@ struct Args {
   bool stats = false;
   bool progress = false;
   std::string trace_path;
+  std::string metrics_path;
   std::string csv_path;
   std::string jsonl_path;
 };
@@ -197,6 +206,8 @@ Args parse_args(int argc, char** argv) {
       args.sim_trace = true;
     } else if (arg == "--trace") {
       args.trace_path = next();
+    } else if (arg == "--metrics") {
+      args.metrics_path = next();
     } else if (arg == "--progress") {
       args.progress = true;
     } else if (arg == "--stats") {
@@ -249,6 +260,21 @@ void print_stats(const SearchStats& stats) {
               << stats.cache_evictions << " evictions, "
               << stats.cache_superseded << " superseded, "
               << stats.nodes_expanded << " nodes expanded\n";
+  }
+  if (metrics_enabled()) {
+    // Registry view of the same run: process-wide totals (they equal the
+    // per-search stats summed over every search this process ran).
+    const MetricsSnapshot snapshot = metrics_snapshot();
+    std::cerr << "; metrics totals: "
+              << static_cast<std::uint64_t>(
+                     snapshot.value_or_zero("ps_search_runs_total"))
+              << " searches, "
+              << static_cast<std::uint64_t>(
+                     snapshot.value_or_zero("ps_search_nodes_expanded_total"))
+              << " nodes expanded, "
+              << static_cast<std::uint64_t>(snapshot.value_or_zero(
+                     "ps_search_incumbent_improvements_total"))
+              << " incumbent improvements\n";
   }
 }
 
@@ -428,12 +454,19 @@ int run_compile(const Args& args) {
 int run(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   if (!args.trace_path.empty()) trace_enable();
+  if (!args.metrics_path.empty()) metrics_enable();
   const int code = run_compile(args);
   if (!args.trace_path.empty()) {
     trace_disable();
     trace_write_json(args.trace_path);
     std::cerr << "; trace written to " << args.trace_path
               << " (open in chrome://tracing or https://ui.perfetto.dev)\n";
+  }
+  if (!args.metrics_path.empty()) {
+    metrics_disable();
+    metrics_write(args.metrics_path);
+    std::cerr << "; " << metrics_summary_line() << " written to "
+              << args.metrics_path << "\n";
   }
   return code;
 }
