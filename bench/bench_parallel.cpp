@@ -1,0 +1,151 @@
+// Scaling benchmark for the frontier-split parallel branch-and-bound.
+//
+// Protocol: candidate generated blocks are probed sequentially (dominance
+// cache OFF, so every thread count explores the same pruned tree shape)
+// and kept when their exhaustive search needs a placement count large
+// enough to be worth splitting. Each kept block is then solved to
+// exhaustion at 1, 2, 4 and 8 search threads; soundness is asserted
+// inline — every thread count must report the identical optimal NOP
+// count — and the table reports total wall time plus speedup relative to
+// the sequential run.
+//
+// Honesty note: speedup is only attainable when the host has spare
+// hardware threads. The binary prints std::thread::hardware_concurrency
+// next to the table; on a single-core host the expected result is a
+// slowdown (frontier BFS + worker handoff overhead with no parallel
+// execution underneath), and the numbers should be read as the overhead
+// cost, not the scaling headroom. See EXPERIMENTS.md.
+//
+// Workload knobs: PS_PARALLEL_BLOCKS (default 20) selects how many blocks
+// are measured.
+#include <cstdint>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ir/dag.hpp"
+#include "sched/optimal_scheduler.hpp"
+#include "synth/generator.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace pipesched;
+
+int parallel_blocks(int fallback = 20) {
+  if (const char* env = std::getenv("PS_PARALLEL_BLOCKS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+/// Uncached-exhaustion placement budget a candidate must fit inside (so
+/// every measured run provably completes) and the floor that makes a
+/// block worth splitting at all.
+constexpr std::uint64_t kOmegaCeiling = 2'000'000;
+constexpr std::uint64_t kOmegaFloor = 20'000;
+
+struct Candidate {
+  BasicBlock block;
+  std::uint64_t seq_omega = 0;
+};
+
+std::vector<Candidate> find_hard_blocks(const Machine& machine, int count) {
+  std::vector<Candidate> kept;
+  for (std::uint64_t seed = 1; seed < 100000 &&
+                               static_cast<int>(kept.size()) < count;
+       ++seed) {
+    GeneratorParams params;
+    params.statements = 10 + static_cast<int>(seed % 6);
+    params.variables = 3 + static_cast<int>(seed % 3);
+    params.constants = 2;
+    params.seed = seed;
+    BasicBlock block = generate_block(params);
+    if (block.empty()) continue;
+    const DepGraph dag(block);
+    SearchConfig probe;
+    probe.curtail_lambda = kOmegaCeiling;
+    probe.dominance_cache = false;
+    const OptimalResult r = optimal_schedule(machine, dag, probe);
+    if (!r.stats.completed) continue;
+    if (r.stats.omega_calls < kOmegaFloor) continue;
+    kept.push_back({std::move(block), r.stats.omega_calls});
+  }
+  return kept;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pipesched;
+  bench::banner("Parallel Frontier-Split Search",
+                "shared-incumbent scaling; extension beyond the paper");
+
+  const Machine machine = Machine::paper_simulation();
+  const int count = parallel_blocks();
+  const auto candidates = find_hard_blocks(machine, count);
+  PS_CHECK(!candidates.empty(), "no measurable blocks found");
+
+  std::cout << "hardware threads: " << std::thread::hardware_concurrency()
+            << "   blocks: " << candidates.size()
+            << "   (dominance cache off; searches run to exhaustion)\n\n";
+
+  CsvWriter csv("parallel_speedup.csv");
+  csv.row({"threads", "blocks", "total_secs", "speedup_vs_1",
+           "omega_total", "nodes_total", "frontier_subtrees"});
+
+  std::cout << pad_left("threads", 8) << pad_left("time", 12)
+            << pad_left("speedup", 10) << pad_left("omega", 14)
+            << pad_left("subtrees", 10) << "\n";
+
+  double secs_1 = 0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    double secs = 0;
+    std::uint64_t omega = 0, nodes = 0, subtrees = 0;
+    std::vector<int> nops;
+    for (const Candidate& candidate : candidates) {
+      const DepGraph dag(candidate.block);
+      SearchConfig config;
+      config.curtail_lambda = 0;  // to exhaustion: provably optimal
+      config.dominance_cache = false;
+      config.search_threads = threads;
+      const Timer wall;
+      const OptimalResult r = optimal_schedule(machine, dag, config);
+      secs += wall.seconds();
+      PS_CHECK(r.stats.completed,
+               "parallel search did not complete at " << threads
+                                                      << " threads");
+      omega += r.stats.omega_calls;
+      nodes += r.stats.nodes_expanded;
+      subtrees += r.stats.frontier_subtrees;
+      nops.push_back(r.best.total_nops());
+    }
+    static std::vector<int> baseline_nops;
+    if (threads == 1) {
+      baseline_nops = nops;
+      secs_1 = secs;
+    } else {
+      PS_CHECK(nops == baseline_nops,
+               "thread count " << threads
+                               << " changed an optimal NOP count");
+    }
+    const double speedup = secs > 0 ? secs_1 / secs : 0.0;
+    std::cout << pad_left(std::to_string(threads), 8)
+              << pad_left(compact_double(secs * 1e3, 4) + "ms", 12)
+              << pad_left(compact_double(speedup, 3) + "x", 10)
+              << pad_left(std::to_string(omega), 14)
+              << pad_left(std::to_string(subtrees), 10) << "\n";
+    csv.row({std::to_string(threads), std::to_string(candidates.size()),
+             compact_double(secs, 6), compact_double(speedup, 4),
+             std::to_string(omega), std::to_string(nodes),
+             std::to_string(subtrees)});
+  }
+
+  std::cout << "\nevery thread count reproduced the identical optima ("
+            << candidates.size() << " blocks)\n";
+  return 0;
+}

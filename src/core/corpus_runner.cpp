@@ -69,6 +69,20 @@ std::vector<RunRecord> run_corpus(const std::vector<GeneratorParams>& params,
                                   const CorpusRunOptions& options) {
   std::vector<RunRecord> records(params.size());
   ThreadPool pool(options.threads);
+
+  // Nested-parallelism policy: a corpus with many blocks already keeps
+  // every pool worker busy, so intra-search threads would only multiply
+  // oversubscription (threads x search_threads runnable threads fighting
+  // over the same cores). Across-block parallelism wins whenever it can
+  // saturate the pool; per-block search threads are honored only when the
+  // block count is too small to do so — the "few hard blocks" regime the
+  // parallel search exists for.
+  SearchConfig search = options.search;
+  if (search.search_threads != 1 &&
+      params.size() >= pool.thread_count() * 4) {
+    search.search_threads = 1;
+  }
+
   std::atomic<std::uint64_t> blocks_done{0};
   static Counter& blocks_ok = metrics_counter(
       "ps_corpus_blocks_total", {{"status", "ok"}},
@@ -95,7 +109,7 @@ std::vector<RunRecord> run_corpus(const std::vector<GeneratorParams>& params,
         if (options.fault_hook) options.fault_hook(i, block);
         const DepGraph dag(block);
         const OptimalResult result =
-            optimal_schedule(options.machine, dag, options.search);
+            optimal_schedule(options.machine, dag, search);
         fill_run_record(record, result.stats);
       }
     } catch (const std::exception& e) {

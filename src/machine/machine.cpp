@@ -18,7 +18,7 @@ PipelineId Machine::add_pipeline(std::string function, int latency,
   PS_CHECK(enqueue >= 1, "pipeline enqueue time must be >= 1, got " << enqueue);
   PS_CHECK(!function.empty(), "pipeline function name may not be empty");
   pipelines_.push_back({std::move(function), latency, enqueue});
-  unit_groups_ = {};  // invalidate signature-group cache
+  rebuild_unit_groups();
   return static_cast<PipelineId>(pipelines_.size() - 1);
 }
 
@@ -44,7 +44,7 @@ void Machine::map_op(Opcode op, const std::vector<PipelineId>& pipelines) {
       mapped.push_back(id);
     }
   }
-  unit_groups_ = {};  // invalidate signature-group cache
+  rebuild_unit_groups();
 }
 
 const PipelineDesc& Machine::pipeline(PipelineId id) const {
@@ -78,10 +78,13 @@ int Machine::enqueue_for(Opcode op) const {
 
 const std::vector<std::vector<PipelineId>>& Machine::unit_groups(
     Opcode op) const {
-  auto& cache = unit_groups_[static_cast<std::size_t>(op)];
-  if (!cache.has_value()) {
+  return unit_groups_[static_cast<std::size_t>(op)];
+}
+
+void Machine::rebuild_unit_groups() {
+  for (int op = 0; op < kOpcodeCount; ++op) {
     std::vector<std::vector<PipelineId>> groups;
-    for (PipelineId id : pipelines_for(op)) {
+    for (PipelineId id : pipelines_for(static_cast<Opcode>(op))) {
       const PipelineDesc& desc = pipeline(id);
       bool placed = false;
       for (auto& group : groups) {
@@ -94,9 +97,8 @@ const std::vector<std::vector<PipelineId>>& Machine::unit_groups(
       }
       if (!placed) groups.push_back({id});
     }
-    cache = std::move(groups);
+    unit_groups_[static_cast<std::size_t>(op)] = std::move(groups);
   }
-  return *cache;
 }
 
 bool Machine::has_heterogeneous_alternatives() const {

@@ -11,7 +11,6 @@
 #pragma once
 
 #include <array>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -117,12 +116,17 @@ class Machine {
   static Machine preset(const std::string& name);
 
  private:
+  /// Recompute every opcode's signature groups. Called from the mutators
+  /// so `unit_groups()` is a pure read — a Machine is shared by const
+  /// reference across scheduler worker threads, so the groups may never
+  /// be materialized lazily inside the const accessor.
+  void rebuild_unit_groups();
+
   std::string name_;
   std::vector<PipelineDesc> pipelines_;
   std::vector<std::vector<PipelineId>> op_map_;  // indexed by Opcode value
-  // Lazily-built signature groups per opcode (invalidated on mutation).
-  mutable std::array<std::optional<std::vector<std::vector<PipelineId>>>,
-                     kOpcodeCount>
+  // Signature groups per opcode, rebuilt eagerly on mutation.
+  std::array<std::vector<std::vector<PipelineId>>, kOpcodeCount>
       unit_groups_;
 };
 

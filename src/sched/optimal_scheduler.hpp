@@ -52,11 +52,20 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "sched/schedule.hpp"
 #include "sched/timing.hpp"
 
 namespace pipesched {
+
+/// Parallel workers drain their local omega counts into the shared global
+/// lambda ledger every this many calls, so the hot loop pays one atomic
+/// add per interval instead of per call. Consequence: a parallel search
+/// may overshoot curtail_lambda by at most threads x this interval
+/// (sequential searches still curtail at exactly lambda).
+inline constexpr std::uint64_t kParallelOmegaFlushInterval = 256;
 
 struct SearchConfig {
   /// Maximum candidate placements (Lambda limit); 0 = search to exhaustion.
@@ -89,6 +98,18 @@ struct SearchConfig {
   /// the table starts small and grows on demand up to this bound).
   std::size_t dominance_cache_bytes = 1u << 20;
 
+  /// Worker threads for the search itself (1 = the classic sequential
+  /// algorithm, bit-identical to previous releases; 0 = one per hardware
+  /// thread). With N > 1 the search first expands a breadth-first frontier
+  /// of at least N x 8 disjoint subtree roots, then explores the subtrees
+  /// on a thread pool sharing (a) the incumbent — sound for alpha-beta
+  /// because the bound only ever tightens, (b) a sharded dominance cache,
+  /// and (c) the global lambda/deadline budgets. Exhaustive parallel runs
+  /// return the same best_nops as sequential ones (the schedule attaining
+  /// it may be a different optimum); curtailed runs may overshoot lambda
+  /// by up to N x kParallelOmegaFlushInterval omega calls.
+  std::size_t search_threads = 1;
+
   /// Register-pressure ceiling (0 = unconstrained). When set, the search
   /// only explores schedules whose simultaneously-live value count never
   /// exceeds this, implementing Section 3.1's discipline the other way
@@ -107,7 +128,24 @@ struct OptimalResult {
   /// stats.best_nops is -1 in that case and callers must not treat the
   /// schedule as a usable result.
   Schedule best;
+
+  /// Merged totals. For parallel runs every counter is the frontier pass
+  /// plus all per-subtree worker ledgers summed (stats.frontier_subtrees
+  /// says how many), completed is the conjunction, and feasible the
+  /// disjunction — so downstream consumers (corpus roll-ups, metrics,
+  /// reconciliation tests) treat parallel and sequential runs uniformly.
   SearchStats stats;
+
+  /// Unmerged per-ledger stats of a parallel run, for tests and
+  /// diagnostics: `frontier` covers the breadth-first split pass,
+  /// `subtrees[i]` the worker exploration of the i-th subtree. Absent
+  /// (nullopt) for sequential runs. Invariant: summing frontier and all
+  /// subtree ledgers field-by-field reproduces `stats`.
+  struct ParallelDetail {
+    SearchStats frontier;
+    std::vector<SearchStats> subtrees;
+  };
+  std::optional<ParallelDetail> parallel;
 };
 
 /// Run the branch-and-bound search on one block. `initial` carries

@@ -109,6 +109,12 @@ struct SearchStats {
   /// initial evaluation is not counted).
   std::uint64_t incumbent_improvements = 0;
 
+  /// Parallel search only: number of disjoint root subtrees the frontier
+  /// split produced (0 for sequential searches). For a parallel search the
+  /// top-level stats are the frontier pass plus every per-subtree worker
+  /// ledger summed; OptimalResult::parallel keeps the unmerged parts.
+  std::uint64_t frontier_subtrees = 0;
+
   double seconds = 0.0;
 };
 

@@ -8,9 +8,8 @@ namespace pipesched {
 
 namespace {
 
-/// "Never issued": far enough in the past that last + enqueue <= 1 for any
-/// realistic enqueue time.
-constexpr int kUnitIdle = -1'000'000;
+/// File-local alias for the sentinel declared on PipelineState.
+constexpr int kUnitIdle = PipelineState::kUnitIdle;
 
 }  // namespace
 
@@ -21,8 +20,16 @@ PipelineState PipelineState::drained(const Machine& machine) {
 }
 
 bool PipelineState::is_drained() const {
+  // A unit still constrains the entering block when last + enqueue > 1.
+  // Without a Machine at hand the enqueue time is unknown, so split the
+  // range at kUnitIdle / 2: genuine residues are small negative cycle
+  // numbers (a predecessor block's recent issues, clamped at kUnitIdle by
+  // exit_state()), while only the idle sentinel's neighborhood lies at or
+  // below half the sentinel — no valid enqueue time can bridge 500,000
+  // cycles. The previous fixed -1000 cutoff misclassified residues in
+  // (kUnitIdle, -1000] as drained for enqueue times above 1000 cycles.
   for (int last : unit_last_issue) {
-    if (last > -1000) return false;
+    if (last > kUnitIdle / 2) return false;
   }
   return true;
 }

@@ -42,12 +42,22 @@ namespace pipesched {
 /// are <= 0 (e.g. -1 = the predecessor enqueued something on u two cycles
 /// before our first slot). An empty vector means fully drained pipelines.
 struct PipelineState {
+  /// "Never issued" sentinel: far enough in the past that
+  /// last + enqueue <= 1 for any enqueue time a machine description can
+  /// validly carry (enqueue >= 1 and in practice a few cycles; anything
+  /// approaching |kUnitIdle|/2 is unrepresentable residue, not a machine).
+  static constexpr int kUnitIdle = -1'000'000;
+
   std::vector<int> unit_last_issue;
 
   /// Drained state (every unit idle) for `machine`.
   static PipelineState drained(const Machine& machine);
 
-  /// True when no unit still constrains the entering block.
+  /// True when no unit still constrains the entering block. The threshold
+  /// derives from kUnitIdle (see is_drained's definition): a unit counts
+  /// as drained only when its residue is in the sentinel's neighborhood,
+  /// not merely "very negative" — a residual issue at, say, cycle -5000
+  /// still constrains a unit whose enqueue time exceeds 5000 cycles.
   bool is_drained() const;
 };
 

@@ -1,0 +1,438 @@
+// Frontier-split parallel branch-and-bound: differential equivalence with
+// the sequential search, ledger-merge exactness, global budget semantics,
+// and concurrency soundness of the sharded dominance cache.
+//
+// The load-bearing property is the first one: for EXHAUSTIVE runs
+// (curtail_lambda = 0, no deadline) the parallel search must report the
+// same best_nops as the sequential search at every thread count, on
+// heterogeneous machines included — the frontier partitions exactly the
+// branches the sequential candidate loop would take, and every shared
+// component (incumbent, cache, budgets) only ever strengthens pruning
+// soundly. The *schedule attaining* the optimum may legitimately differ
+// (workers race to publish equal-cost optima), so schedules are checked
+// for validity, not equality.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "frontend/codegen.hpp"
+#include "frontend/parser.hpp"
+#include "ir/dag.hpp"
+#include "sched/optimal_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "synth/generator.hpp"
+#include "util/dominance_cache.hpp"
+#include "util/rng.hpp"
+
+namespace pipesched {
+namespace {
+
+/// Random machine with 1-4 units of mixed latency/enqueue signatures and
+/// random op->unit subsets, so heterogeneous-alternative branching is
+/// exercised (mirrors the generator in test_fuzz.cpp).
+Machine random_machine(Rng& rng) {
+  Machine machine("parallel-random");
+  const int units = 1 + static_cast<int>(rng.next_below(4));
+  for (int u = 0; u < units; ++u) {
+    machine.add_pipeline("u" + std::to_string(u),
+                         1 + static_cast<int>(rng.next_below(6)),
+                         1 + static_cast<int>(rng.next_below(4)));
+  }
+  for (Opcode op : {Opcode::Load, Opcode::Mov, Opcode::Neg, Opcode::Add,
+                    Opcode::Sub, Opcode::Mul, Opcode::Div}) {
+    if (!rng.next_bool(0.8)) continue;  // sigma = empty sometimes
+    std::vector<PipelineId> subset;
+    for (int u = 0; u < units; ++u) {
+      if (rng.next_bool()) subset.push_back(u);
+    }
+    if (subset.empty()) {
+      subset.push_back(static_cast<PipelineId>(
+          rng.next_below(static_cast<std::uint64_t>(units))));
+    }
+    machine.map_op(op, subset);
+  }
+  return machine;
+}
+
+BasicBlock random_block(Rng& rng, int max_statements) {
+  GeneratorParams params;
+  params.statements = 3 + static_cast<int>(rng.next_below(
+                              static_cast<std::uint64_t>(max_statements)));
+  params.variables = 3 + static_cast<int>(rng.next_below(5));
+  params.constants = 1 + static_cast<int>(rng.next_below(4));
+  params.seed = rng.next_u64();
+  params.optimize = rng.next_bool(0.5);
+  return generate_block(params);
+}
+
+/// Assert that the merged top-level stats are EXACTLY the frontier ledger
+/// plus every per-subtree worker ledger, counter by counter — the
+/// invariant that makes parallel runs indistinguishable from sequential
+/// ones for every downstream consumer (metrics, corpus roll-ups).
+void expect_stats_equal_summed_ledgers(const OptimalResult& result) {
+  ASSERT_TRUE(result.parallel.has_value());
+  const auto& detail = *result.parallel;
+  SearchStats sum = detail.frontier;
+  bool completed = detail.frontier.completed;
+  for (const SearchStats& ws : detail.subtrees) {
+    sum.omega_calls += ws.omega_calls;
+    sum.schedules_examined += ws.schedules_examined;
+    sum.nodes_expanded += ws.nodes_expanded;
+    sum.pruned_window += ws.pruned_window;
+    sum.pruned_readiness += ws.pruned_readiness;
+    sum.pruned_equivalence += ws.pruned_equivalence;
+    sum.pruned_alpha_beta += ws.pruned_alpha_beta;
+    sum.pruned_lower_bound += ws.pruned_lower_bound;
+    sum.pruned_dominance += ws.pruned_dominance;
+    sum.pruned_pressure += ws.pruned_pressure;
+    sum.cache_probes += ws.cache_probes;
+    sum.cache_hits += ws.cache_hits;
+    sum.cache_misses += ws.cache_misses;
+    sum.cache_evictions += ws.cache_evictions;
+    sum.cache_superseded += ws.cache_superseded;
+    sum.incumbent_improvements += ws.incumbent_improvements;
+    completed = completed && ws.completed;
+  }
+  const SearchStats& merged = result.stats;
+  EXPECT_EQ(merged.omega_calls, sum.omega_calls);
+  EXPECT_EQ(merged.schedules_examined, sum.schedules_examined);
+  EXPECT_EQ(merged.nodes_expanded, sum.nodes_expanded);
+  EXPECT_EQ(merged.pruned_window, sum.pruned_window);
+  EXPECT_EQ(merged.pruned_readiness, sum.pruned_readiness);
+  EXPECT_EQ(merged.pruned_equivalence, sum.pruned_equivalence);
+  EXPECT_EQ(merged.pruned_alpha_beta, sum.pruned_alpha_beta);
+  EXPECT_EQ(merged.pruned_lower_bound, sum.pruned_lower_bound);
+  EXPECT_EQ(merged.pruned_dominance, sum.pruned_dominance);
+  EXPECT_EQ(merged.pruned_pressure, sum.pruned_pressure);
+  EXPECT_EQ(merged.cache_probes, sum.cache_probes);
+  EXPECT_EQ(merged.cache_hits, sum.cache_hits);
+  EXPECT_EQ(merged.cache_misses, sum.cache_misses);
+  EXPECT_EQ(merged.cache_evictions, sum.cache_evictions);
+  EXPECT_EQ(merged.cache_superseded, sum.cache_superseded);
+  EXPECT_EQ(merged.incumbent_improvements, sum.incumbent_improvements);
+  EXPECT_EQ(merged.completed, completed);
+  // Cache-ledger internal invariant, per worker and merged.
+  EXPECT_EQ(merged.cache_hits + merged.cache_misses, merged.cache_probes);
+  EXPECT_EQ(merged.frontier_subtrees, detail.subtrees.size());
+}
+
+TEST(ParallelSearch, MatchesSequentialOverRandomHeterogeneousPairs) {
+  // >= 200 random machine/block pairs, each searched to exhaustion
+  // sequentially and at 2/4/8 threads: identical best_nops everywhere,
+  // simulator-valid schedules, exact ledger sums.
+  Rng rng(0x9A8A11E1u);
+  int pairs = 0;
+  int heterogeneous_seen = 0;
+  while (pairs < 200) {
+    const Machine machine = random_machine(rng);
+    const BasicBlock block = random_block(rng, 4);
+    // Exhaustive searches are run 4x per pair; cap the block size so the
+    // sweep stays seconds, not minutes, even with the cache rolled off.
+    if (block.empty() || block.size() > 12) continue;
+    ++pairs;
+    if (machine.has_heterogeneous_alternatives()) ++heterogeneous_seen;
+    const DepGraph dag(block);
+
+    SearchConfig config;
+    config.curtail_lambda = 0;  // exhaustive: optimality is provable
+    config.dominance_cache = rng.next_bool();
+    config.strong_equivalence = rng.next_bool(0.3);
+    config.lower_bound_prune = rng.next_bool(0.3);
+
+    const OptimalResult seq = optimal_schedule(machine, dag, config);
+    ASSERT_TRUE(seq.stats.completed);
+    ASSERT_FALSE(seq.parallel.has_value());
+
+    for (std::size_t threads : {2u, 4u, 8u}) {
+      SearchConfig parallel_config = config;
+      parallel_config.search_threads = threads;
+      const OptimalResult par =
+          optimal_schedule(machine, dag, parallel_config);
+
+      ASSERT_TRUE(par.stats.completed)
+          << threads << " threads, pair " << pairs;
+      ASSERT_EQ(par.stats.best_nops, seq.stats.best_nops)
+          << threads << " threads, pair " << pairs << ", block:\n"
+          << block.to_string();
+      EXPECT_EQ(par.stats.initial_nops, seq.stats.initial_nops);
+      EXPECT_EQ(par.best.total_nops(), par.stats.best_nops);
+
+      ASSERT_TRUE(dag.is_legal_order(par.best.order));
+      const SimResult padded = validate_padded(machine, dag, par.best);
+      ASSERT_TRUE(padded.ok) << padded.error;
+
+      if (dag.size() >= 2) {
+        expect_stats_equal_summed_ledgers(par);
+      }
+    }
+  }
+  // The machine generator must actually exercise unit-group branching.
+  EXPECT_GT(heterogeneous_seen, 20);
+}
+
+TEST(ParallelSearch, SearchThreadsOneIsTheSequentialPath) {
+  // threads = 1 must take the classic code path: no parallel detail, and
+  // (being the same algorithm object for object) identical stats AND an
+  // identical schedule, not merely an equal-cost one.
+  Rng rng(0x51D2BEEFu);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Machine machine = random_machine(rng);
+    const BasicBlock block = random_block(rng, 6);
+    if (block.empty() || block.size() > 14) continue;
+    const DepGraph dag(block);
+    SearchConfig config;
+    config.curtail_lambda = 0;
+    const OptimalResult a = optimal_schedule(machine, dag, config);
+    SearchConfig explicit_one = config;
+    explicit_one.search_threads = 1;
+    const OptimalResult b = optimal_schedule(machine, dag, explicit_one);
+    EXPECT_FALSE(b.parallel.has_value());
+    EXPECT_EQ(a.best.order, b.best.order);
+    EXPECT_EQ(a.best.nops, b.best.nops);
+    EXPECT_EQ(a.stats.omega_calls, b.stats.omega_calls);
+    EXPECT_EQ(a.stats.nodes_expanded, b.stats.nodes_expanded);
+    EXPECT_EQ(a.stats.frontier_subtrees, 0u);
+  }
+}
+
+/// A block whose search cannot finish under a small budget: many
+/// statements over very few variables, so value reuse builds deep latency
+/// chains (the seed schedule needs NOPs) while the permutation space stays
+/// astronomically large. The budget tests below additionally PROVE
+/// hardness by asserting the sequential search curtails on it.
+BasicBlock wide_hard_block(std::uint64_t seed) {
+  GeneratorParams params;
+  params.statements = 60;
+  params.variables = 3;
+  params.constants = 2;
+  params.seed = seed;
+  params.optimize = false;
+  return generate_block(params);
+}
+
+/// Budget/deadline tests need a search that cannot finish: turn off every
+/// prune that could collapse the tree (equivalence classes, the dominance
+/// cache, forced-position windows), leaving only alpha-beta — the rule the
+/// shared incumbent implements.
+SearchConfig unprunable_config() {
+  SearchConfig config;
+  config.equivalence_prune = false;
+  config.strong_equivalence = false;
+  config.window_prune = false;
+  config.dominance_cache = false;
+  return config;
+}
+
+TEST(ParallelSearch, GlobalLambdaFiresWithinOneSlopInterval) {
+  // A block far too large to exhaust, with a lambda the workers must
+  // collectively respect: the total omega count lands in
+  // [lambda, lambda + threads x kParallelOmegaFlushInterval] — the
+  // documented overshoot bound of the batched global ledger (sequential
+  // searches curtail at exactly lambda; parallel workers flush local
+  // counts every interval, so each can overrun by at most one batch).
+  const BasicBlock block = wide_hard_block(0xC0FFEE);
+  ASSERT_GE(block.size(), 40u);
+  const DepGraph dag(block);
+  const Machine machine = Machine::paper_simulation();
+
+  const std::uint64_t lambda = 5000;
+  {
+    // Hardness proof: sequentially the budget fires (at exactly lambda).
+    SearchConfig config = unprunable_config();
+    config.curtail_lambda = lambda;
+    const OptimalResult seq = optimal_schedule(machine, dag, config);
+    ASSERT_FALSE(seq.stats.completed);
+    ASSERT_EQ(seq.stats.omega_calls, lambda);
+  }
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    SearchConfig config = unprunable_config();
+    config.curtail_lambda = lambda;
+    config.search_threads = threads;
+    const OptimalResult result = optimal_schedule(machine, dag, config);
+
+    EXPECT_FALSE(result.stats.completed);
+    EXPECT_EQ(result.stats.curtail_reason, CurtailReason::Lambda);
+    EXPECT_GE(result.stats.omega_calls, lambda);
+    EXPECT_LE(result.stats.omega_calls,
+              lambda + threads * kParallelOmegaFlushInterval)
+        << threads << " threads";
+    // Every curtailed worker ledger must agree on the cause.
+    ASSERT_TRUE(result.parallel.has_value());
+    for (const SearchStats& ws : result.parallel->subtrees) {
+      if (!ws.completed) {
+        EXPECT_EQ(ws.curtail_reason, CurtailReason::Lambda);
+      }
+    }
+    // The incumbent survives curtailment.
+    EXPECT_EQ(result.best.total_nops(), result.stats.best_nops);
+    EXPECT_LE(result.stats.best_nops, result.stats.initial_nops);
+  }
+}
+
+TEST(ParallelSearch, GlobalDeadlineCurtailsAllWorkers) {
+  // Two long serial multiply chains on a single deep pipeline: the NOP
+  // floor is provably positive (every op has latency 8 and each chain is
+  // serial, so no interleaving hides all stalls), which disarms the
+  // best == 0 early exit; with every structural prune off, alpha-beta
+  // alone can never finish proving optimality, so only the clock stops
+  // this search.
+  std::string src;
+  for (int i = 0; i < 25; ++i) src += "x = x * x + 1; ";
+  for (int i = 0; i < 25; ++i) src += "y = y * y + 2; ";
+  const BasicBlock block = generate_tuples(parse_source(src));
+  ASSERT_GE(block.size(), 40u);
+  const DepGraph dag(block);
+  const Machine machine = Machine::single_issue_deep();
+
+  SearchConfig config = unprunable_config();
+  config.curtail_lambda = 0;  // only the clock can stop this search
+  config.deadline_seconds = 0.05;
+  config.search_threads = 4;
+  const OptimalResult result = optimal_schedule(machine, dag, config);
+
+  EXPECT_GT(result.stats.best_nops, 0);
+
+  EXPECT_FALSE(result.stats.completed);
+  EXPECT_EQ(result.stats.curtail_reason, CurtailReason::Deadline);
+  ASSERT_TRUE(result.parallel.has_value());
+  for (const SearchStats& ws : result.parallel->subtrees) {
+    if (!ws.completed) {
+      EXPECT_EQ(ws.curtail_reason, CurtailReason::Deadline);
+    }
+  }
+  EXPECT_EQ(result.best.total_nops(), result.stats.best_nops);
+}
+
+TEST(ParallelSearch, PressureCeilingAgreesWithSequential) {
+  // Register-pressure ceilings interact with every pruning rule; the
+  // parallel split must preserve both the feasibility verdict and the
+  // optimal-among-feasible cost.
+  Rng rng(0x9E55EEu);
+  int infeasible_seen = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Machine machine = random_machine(rng);
+    const BasicBlock block = random_block(rng, 4);
+    if (block.empty() || block.size() > 12) continue;
+    const DepGraph dag(block);
+
+    SearchConfig config;
+    config.curtail_lambda = 0;
+    config.max_live_registers = 2 + static_cast<int>(rng.next_below(3));
+
+    const OptimalResult seq = optimal_schedule(machine, dag, config);
+    for (std::size_t threads : {2u, 4u}) {
+      SearchConfig parallel_config = config;
+      parallel_config.search_threads = threads;
+      const OptimalResult par =
+          optimal_schedule(machine, dag, parallel_config);
+      ASSERT_TRUE(par.stats.completed);
+      EXPECT_EQ(par.stats.feasible, seq.stats.feasible) << "trial " << trial;
+      EXPECT_EQ(par.stats.best_nops, seq.stats.best_nops)
+          << "trial " << trial;
+    }
+    if (!seq.stats.feasible) ++infeasible_seen;
+  }
+  // The ceiling range must produce both verdicts, or the test is vacuous.
+  EXPECT_GT(infeasible_seen, 0);
+}
+
+TEST(ShardedDominanceCache, ConcurrentHammerKeepsExactLedgers) {
+  // Four threads pound one sharded cache with overlapping key streams;
+  // afterwards the cache's own aggregate stats must equal the summed
+  // caller-owned ledgers exactly — no lost updates, no smearing. (This is
+  // also the designated ThreadSanitizer target for the cache.)
+  ShardedDominanceCache cache(std::size_t{1} << 18, 8);
+  constexpr int kThreads = 4;
+  constexpr int kProbesPerThread = 50000;
+  std::vector<DominanceCacheStats> ledgers(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &ledgers, t] {
+      Rng rng(0xABCD + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kProbesPerThread; ++i) {
+        // Small key/depth spaces force heavy cross-thread collisions.
+        const std::uint64_t key = hash64(rng.next_below(5000) + 1);
+        const int depth = static_cast<int>(rng.next_below(12));
+        const int cost = static_cast<int>(rng.next_below(40));
+        cache.probe_and_update(key, depth, cost, ledgers[static_cast<std::size_t>(t)]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  DominanceCacheStats sum;
+  for (const DominanceCacheStats& l : ledgers) {
+    sum.probes += l.probes;
+    sum.hits += l.hits;
+    sum.misses += l.misses;
+    sum.inserts += l.inserts;
+    sum.evictions += l.evictions;
+    sum.superseded += l.superseded;
+  }
+  EXPECT_EQ(sum.probes,
+            static_cast<std::uint64_t>(kThreads) * kProbesPerThread);
+  EXPECT_EQ(sum.hits + sum.misses, sum.probes);
+
+  const DominanceCacheStats total = cache.stats();
+  EXPECT_EQ(total.probes, sum.probes);
+  EXPECT_EQ(total.hits, sum.hits);
+  EXPECT_EQ(total.misses, sum.misses);
+  EXPECT_EQ(total.inserts, sum.inserts);
+  EXPECT_EQ(total.evictions, sum.evictions);
+  EXPECT_EQ(total.superseded, sum.superseded);
+}
+
+TEST(ShardedDominanceCache, ShardingPreservesDominanceSemantics) {
+  // Single-threaded semantic check: repeat visits at equal-or-worse cost
+  // are dominated, strictly better costs supersede in place — exactly the
+  // sequential cache's contract, just routed through a shard.
+  ShardedDominanceCache cache(std::size_t{1} << 16, 4);
+  DominanceCacheStats ledger;
+  EXPECT_FALSE(cache.probe_and_update(42, 3, 10, ledger));  // insert
+  EXPECT_TRUE(cache.probe_and_update(42, 3, 10, ledger));   // equal: hit
+  EXPECT_TRUE(cache.probe_and_update(42, 3, 12, ledger));   // worse: hit
+  EXPECT_FALSE(cache.probe_and_update(42, 3, 7, ledger));   // better: supersede
+  EXPECT_TRUE(cache.probe_and_update(42, 3, 7, ledger));
+  EXPECT_FALSE(cache.probe_and_update(42, 4, 7, ledger));  // new depth
+  EXPECT_EQ(ledger.probes, 6u);
+  EXPECT_EQ(ledger.hits, 3u);
+  EXPECT_EQ(ledger.misses, 3u);
+  EXPECT_EQ(ledger.inserts, 2u);
+  EXPECT_EQ(ledger.superseded, 1u);
+
+  // Shard counts round up to a power of two; the byte budget is split.
+  EXPECT_EQ(cache.shard_count(), 4u);
+  EXPECT_EQ(ShardedDominanceCache(1 << 16, 5).shard_count(), 8u);
+  EXPECT_EQ(ShardedDominanceCache(1 << 16, 0).shard_count(), 1u);
+  EXPECT_GT(cache.capacity(), 0u);
+}
+
+TEST(ParallelSearch, ZeroThreadsSelectsHardwareConcurrency) {
+  // search_threads = 0 must resolve rather than hang or divide by zero;
+  // on a single-core host this degenerates to the sequential path, so
+  // only the cost contract is asserted.
+  const Machine machine = Machine::paper_simulation();
+  GeneratorParams params;
+  params.statements = 6;
+  params.variables = 4;
+  params.constants = 2;
+  params.seed = 7;
+  const BasicBlock block = generate_block(params);
+  if (block.empty()) GTEST_SKIP();
+  const DepGraph dag(block);
+  SearchConfig config;
+  config.curtail_lambda = 0;
+  const OptimalResult seq = optimal_schedule(machine, dag, config);
+  config.search_threads = 0;
+  const OptimalResult par = optimal_schedule(machine, dag, config);
+  EXPECT_TRUE(par.stats.completed);
+  EXPECT_EQ(par.stats.best_nops, seq.stats.best_nops);
+}
+
+}  // namespace
+}  // namespace pipesched

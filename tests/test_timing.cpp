@@ -224,6 +224,37 @@ TEST(Timing, InitialStateDelaysConflictingFirstInstruction) {
   EXPECT_EQ(s.issue_cycle[2], 4);  // 2 + enqueue 2
 }
 
+TEST(Timing, IsDrainedThresholdDerivesFromIdleSentinel) {
+  // Regression: is_drained() used to compare against a fixed -1000 while
+  // the "never issued" sentinel is PipelineState::kUnitIdle = -1'000'000,
+  // so residues in (kUnitIdle, -1000] — real occupancy from a predecessor
+  // block, merely old — were misreported as drained. The threshold now
+  // splits the range at kUnitIdle / 2: only the sentinel's neighborhood
+  // counts as idle.
+  constexpr int kIdle = PipelineState::kUnitIdle;
+  const auto drained_with = [](int last) {
+    PipelineState s;
+    s.unit_last_issue = {last};
+    return s.is_drained();
+  };
+  EXPECT_TRUE(drained_with(kIdle));
+  EXPECT_TRUE(drained_with(kIdle / 2));       // boundary: still sentinel-side
+  EXPECT_FALSE(drained_with(kIdle / 2 + 1));  // first non-idle residue
+  EXPECT_FALSE(drained_with(-5000));  // the old cutoff's blind spot
+  EXPECT_FALSE(drained_with(-1000));
+  EXPECT_FALSE(drained_with(0));
+
+  // A mixed state is drained only when EVERY unit is.
+  PipelineState mixed;
+  mixed.unit_last_issue = {kIdle, -5000};
+  EXPECT_FALSE(mixed.is_drained());
+  mixed.unit_last_issue = {kIdle, kIdle};
+  EXPECT_TRUE(mixed.is_drained());
+
+  // Degenerate but valid: no units recorded means nothing constrains.
+  EXPECT_TRUE(PipelineState{}.is_drained());
+}
+
 TEST(Timing, ExitStateRoundTripsThroughChainedTimers) {
   // Evaluating [first half] then [second half] with the exit state must
   // reproduce the one-shot evaluation of the whole order, NOP for NOP.

@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice over:
+# Tier-1 verification, three times over:
 #   1. Release       — the configuration the benches and users run;
 #   2. Debug + ASan/UBSan (-DPIPESCHED_SANITIZE=address,undefined) — the
-#      configuration that catches lifetime and UB bugs the optimizer hides.
+#      configuration that catches lifetime and UB bugs the optimizer hides;
+#   3. Debug + TSan (-DPIPESCHED_SANITIZE=thread), focused on the
+#      concurrency surface — the parallel frontier-split search, the
+#      sharded dominance cache, and the thread pool. TSan cannot be
+#      combined with ASan, hence the separate lane; it builds only the
+#      concurrency-relevant tests to keep the lane fast.
 #
 # Usage: tools/ci.sh [jobs]   (defaults to nproc)
 set -euo pipefail
@@ -25,6 +30,21 @@ run_suite build-ci-release -DCMAKE_BUILD_TYPE=Release
 run_suite build-ci-sanitize \
   -DCMAKE_BUILD_TYPE=Debug \
   -DPIPESCHED_SANITIZE=address,undefined
+
+# TSan lane: data races in the parallel search would be soundness bugs
+# (a torn incumbent read could prune the true optimum), and they do not
+# reproduce deterministically — only TSan sees them reliably.
+echo "==== configuring build-ci-tsan (thread sanitizer) ===="
+cmake -B build-ci-tsan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DPIPESCHED_SANITIZE=thread
+echo "==== building build-ci-tsan (concurrency tests) ===="
+cmake --build build-ci-tsan -j "${jobs}" \
+  --target test_parallel_search test_util
+echo "==== TSan: parallel frontier-split search ===="
+./build-ci-tsan/tests/test_parallel_search
+echo "==== TSan: thread pool ===="
+./build-ci-tsan/tests/test_util --gtest_filter='ThreadPool.*'
 
 # Traced corpus smoke, in BOTH configurations: a small corpus run with
 # PS_TRACE must produce well-formed Chrome trace-event JSON (validated
@@ -89,6 +109,36 @@ metrics_smoke() {
 metrics_smoke build-ci-release
 metrics_smoke build-ci-sanitize
 
+# CLI argument validation smoke: malformed numeric flag values must be
+# rejected with a diagnostic and exit code 2 — never crash with an
+# uncaught std::invalid_argument (the pre-fix behavior) and never be
+# silently misparsed.
+cli_flag_smoke() {
+  local build="$1"
+  echo "==== psc flag validation smoke (${build}) ===="
+  local rc out
+  for bad in "--deadline bogus" "--lambda -3" "--search-threads 4x" \
+             "--registers 1e3" "--split --lambda"; do
+    rc=0
+    # shellcheck disable=SC2086  # intentional word-splitting of flag+value
+    out="$(echo "x = a;" | "./${build}/tools/psc" ${bad} 2>&1)" || rc=$?
+    if [[ "${rc}" -ne 2 ]]; then
+      echo "FAIL: psc ${bad} exited ${rc}, expected 2" >&2
+      exit 1
+    fi
+    if ! grep -q "psc: invalid value for" <<< "${out}"; then
+      echo "FAIL: psc ${bad} did not print the invalid-value diagnostic:" >&2
+      echo "${out}" >&2
+      exit 1
+    fi
+  done
+  # A well-formed invocation must still succeed.
+  echo "x = a * b;" | "./${build}/tools/psc" --search-threads 2 > /dev/null
+}
+
+cli_flag_smoke build-ci-release
+cli_flag_smoke build-ci-sanitize
+
 # Bench regression gate: re-run the committed baseline's corpus
 # configuration (PS_CORPUS_RUNS must match BENCH_corpus.json, see
 # EXPERIMENTS.md) and diff the fresh roll-up against the committed one.
@@ -123,4 +173,4 @@ test -s "${smoke_dir}/BENCH_corpus.json"
 test -s "${smoke_dir}/corpus_records.jsonl"
 rm -rf "${smoke_dir}"
 
-echo "==== CI OK: Release and sanitized Debug suites both green ===="
+echo "==== CI OK: Release, ASan/UBSan, and TSan lanes all green ===="

@@ -56,6 +56,12 @@ scheduling:
                         default 50000)
   --deadline <secs>     wall-clock budget per search (0 = none); expiry
                         keeps the best schedule found so far, like lambda
+  --search-threads <N>  worker threads inside each optimal search
+                        (default 1 = the sequential algorithm; 0 = one
+                        per hardware thread). N > 1 splits the search
+                        tree into disjoint subtrees sharing the incumbent
+                        bound, dominance cache, and lambda/deadline
+                        budgets
   --no-cache            disable the state-dominance (transposition) cache
   --split <W>           schedule straight-line blocks with the Section 5.3
                         window splitter instead of the global search
@@ -102,6 +108,7 @@ struct Args {
   SchedulerKind scheduler = SchedulerKind::Optimal;
   std::uint64_t lambda = 50000;
   double deadline = 0;
+  std::size_t search_threads = 1;
   bool dominance_cache = true;
   int split_window = 0;
   int register_limit = 0;
@@ -152,6 +159,56 @@ DelayMechanism parse_mechanism(const std::string& name) {
   throw Error("unknown delay mechanism: " + name);
 }
 
+/// Numeric flag parsing that fails like a CLI, not like a C++ runtime:
+/// std::sto* throw std::invalid_argument / std::out_of_range on malformed
+/// input, which previously escaped main() uncaught and aborted the
+/// process. These helpers reject garbage, trailing junk ("5x"), values
+/// out of range, and negative values for unsigned flags, printing
+/// "psc: invalid value for --flag" and exiting with status 2 (the
+/// conventional usage-error code, distinct from compile failures' 1).
+[[noreturn]] void invalid_flag_value(const std::string& flag,
+                                     const std::string& value) {
+  std::cerr << "psc: invalid value for " << flag << ": '" << value << "'\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_u64_flag(const std::string& flag,
+                             const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t parsed = std::stoull(value, &pos);
+    // stoull silently wraps negatives ("-1" -> 2^64-1); reject them.
+    if (pos != value.size() || value.find('-') != std::string::npos) {
+      invalid_flag_value(flag, value);
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    invalid_flag_value(flag, value);
+  }
+}
+
+int parse_int_flag(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const int parsed = std::stoi(value, &pos);
+    if (pos != value.size()) invalid_flag_value(flag, value);
+    return parsed;
+  } catch (const std::exception&) {
+    invalid_flag_value(flag, value);
+  }
+}
+
+double parse_double_flag(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(value, &pos);
+    if (pos != value.size()) invalid_flag_value(flag, value);
+    return parsed;
+  } catch (const std::exception&) {
+    invalid_flag_value(flag, value);
+  }
+}
+
 Args parse_args(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
@@ -172,16 +229,20 @@ Args parse_args(int argc, char** argv) {
     } else if (arg == "--scheduler") {
       args.scheduler = parse_scheduler(next());
     } else if (arg == "--lambda") {
-      args.lambda = std::stoull(next());
+      args.lambda = parse_u64_flag(arg, next());
     } else if (arg == "--deadline") {
-      args.deadline = std::stod(next());
-      PS_CHECK(args.deadline >= 0, "--deadline must be non-negative");
+      const std::string value = next();
+      args.deadline = parse_double_flag(arg, value);
+      if (args.deadline < 0) invalid_flag_value(arg, value);
+    } else if (arg == "--search-threads") {
+      args.search_threads =
+          static_cast<std::size_t>(parse_u64_flag(arg, next()));
     } else if (arg == "--no-cache") {
       args.dominance_cache = false;
     } else if (arg == "--split") {
-      args.split_window = std::stoi(next());
+      args.split_window = parse_int_flag(arg, next());
     } else if (arg == "--registers") {
-      args.register_limit = std::stoi(next());
+      args.register_limit = parse_int_flag(arg, next());
     } else if (arg == "--mechanism") {
       args.mechanism = parse_mechanism(next());
     } else if (arg == "--boundary") {
@@ -239,6 +300,10 @@ void print_stats(const SearchStats& stats) {
   if (!stats.feasible) {
     std::cerr << "; search: INFEASIBLE — no schedule fits the register "
                  "ceiling; final NOPs is -1 (not a real optimum)\n";
+  }
+  if (stats.frontier_subtrees > 0) {
+    std::cerr << "; parallel: frontier split into " << stats.frontier_subtrees
+              << " subtrees\n";
   }
   if (stats.seconds > 0 && stats.nodes_expanded > 0) {
     std::cerr << "; throughput: "
@@ -300,6 +365,7 @@ int compile_one_block(BasicBlock block, const Machine& machine,
   options.search.curtail_lambda = args.lambda;
   options.search.deadline_seconds = args.deadline;
   options.search.dominance_cache = args.dominance_cache;
+  options.search.search_threads = args.search_threads;
   options.optimize = args.optimize;
   options.reassociate = args.reassociate;
   options.emit.mechanism = args.mechanism;
@@ -335,6 +401,7 @@ int compile_one_block(BasicBlock block, const Machine& machine,
     config.search.curtail_lambda = args.lambda;
     config.search.deadline_seconds = args.deadline;
     config.search.dominance_cache = args.dominance_cache;
+    config.search.search_threads = args.search_threads;
     const SplitResult result = split_schedule(machine, dag, config);
     const Allocation allocation =
         linear_scan(prepared, result.schedule.order, options.registers);
@@ -430,6 +497,7 @@ int run_compile(const Args& args) {
   options.block.search.curtail_lambda = args.lambda;
   options.block.search.deadline_seconds = args.deadline;
   options.block.search.dominance_cache = args.dominance_cache;
+  options.block.search.search_threads = args.search_threads;
   options.block.optimize = args.optimize;
   options.block.reassociate = args.reassociate;
   options.block.emit.mechanism = args.mechanism;
