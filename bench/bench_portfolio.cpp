@@ -1,0 +1,151 @@
+// Portfolio racing benchmark: the same corpus scheduled three times —
+// branch-and-bound alone, CP/DP alone, and the two raced per block — on
+// the Tables 4-5 machine (extension beyond the paper).
+//
+// Protocol: every backend sees the identical generated corpus and the
+// identical lambda budget, so the three runs are directly comparable.
+// Correctness is asserted inline, corpus-wide: whenever both exact
+// backends complete a block they must report the same optimum (or agree
+// the block is infeasible), and a completed portfolio run must match the
+// completed single-backend answer — the same cross-solver oracle the
+// differential test suite enforces, here at corpus scale on every bench
+// run. The table reports each backend's completion rate, search size and
+// wall time, plus the portfolio's win split (which racer finished first;
+// timing-dependent, so reported rather than asserted).
+//
+// Workload knobs: PS_CORPUS_RUNS (default 4,000 here — three corpus
+// sweeps), PS_LAMBDA, PS_DEADLINE as for the other corpus benches.
+//
+// Artifacts: portfolio_race.csv (per-backend aggregate rows) and
+// BENCH_corpus_portfolio.json — the portfolio run's roll-up in the same
+// shape as BENCH_corpus.json, gated in CI by bench_diff like the
+// single-backend baseline.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace pipesched;
+
+struct BackendRun {
+  const char* name;
+  OptimalBackend backend;
+  std::vector<RunRecord> records;
+  CorpusSummary summary;
+  double wall_seconds = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace pipesched;
+  bench::banner("Portfolio Racing: B&B vs CP/DP",
+                "two exact backends per block; extension beyond the paper");
+
+  const int runs = bench::corpus_runs(4000);
+  const CorpusRunOptions base = bench::paper_run_options();
+  std::cout << "corpus: " << runs << " blocks, machine "
+            << base.machine.name() << ", curtail point lambda = "
+            << base.search.curtail_lambda << "\n\n";
+
+  BackendRun sweeps[] = {
+      {"bnb", OptimalBackend::Bnb, {}, {}, 0},
+      {"cp", OptimalBackend::Cp, {}, {}, 0},
+      {"portfolio", OptimalBackend::Portfolio, {}, {}, 0},
+  };
+  for (BackendRun& sweep : sweeps) {
+    CorpusRunOptions options = base;
+    options.search.backend = sweep.backend;
+    Timer wall;
+    sweep.records = bench::run_paper_corpus(runs, options);
+    sweep.wall_seconds = wall.seconds();
+    sweep.summary = summarize_corpus(sweep.records);
+  }
+  const BackendRun& bnb = sweeps[0];
+  const BackendRun& cp = sweeps[1];
+  const BackendRun& race = sweeps[2];
+
+  // Cross-solver oracle over the whole corpus: completed runs claim
+  // optimality, so completed answers must agree block by block.
+  std::size_t cross_checked = 0;
+  for (int i = 0; i < runs; ++i) {
+    const RunRecord& b = bnb.records[static_cast<std::size_t>(i)];
+    const RunRecord& c = cp.records[static_cast<std::size_t>(i)];
+    const RunRecord& p = race.records[static_cast<std::size_t>(i)];
+    if (!b.error.empty() || !c.error.empty() || !p.error.empty()) continue;
+    if (b.completed && c.completed) {
+      PS_CHECK(b.feasible == c.feasible && b.final_nops == c.final_nops,
+               "backends disagree on block " << i << ": bnb "
+                                             << b.final_nops << ", cp "
+                                             << c.final_nops);
+      ++cross_checked;
+    }
+    const RunRecord* solo = b.completed ? &b : c.completed ? &c : nullptr;
+    if (p.completed && solo != nullptr) {
+      PS_CHECK(p.feasible == solo->feasible &&
+                   p.final_nops == solo->final_nops,
+               "portfolio diverged on block " << i << ": portfolio "
+                                              << p.final_nops << ", solo "
+                                              << solo->final_nops);
+    }
+  }
+
+  std::size_t wins_bnb = 0, wins_cp = 0;
+  for (const RunRecord& r : race.records) {
+    if (r.portfolio_winner == PortfolioWinner::Bnb) ++wins_bnb;
+    if (r.portfolio_winner == PortfolioWinner::Cp) ++wins_cp;
+  }
+
+  std::cout << pad_left("backend", 11) << pad_left("completed", 11)
+            << pad_left("rate", 9) << pad_left("avg omega", 12)
+            << pad_left("avg time", 11) << pad_left("corpus wall", 13)
+            << "\n";
+  CsvWriter csv("portfolio_race.csv");
+  csv.row({"backend", "blocks", "completed", "completed_percent",
+           "avg_omega_completed", "avg_seconds", "corpus_wall_seconds",
+           "wins_bnb", "wins_cp"});
+  for (const BackendRun& sweep : sweeps) {
+    const CorpusSummary::Column& done = sweep.summary.completed;
+    std::cout << pad_left(sweep.name, 11)
+              << pad_left(std::to_string(done.runs), 11)
+              << pad_left(compact_double(done.percent, 4) + "%", 9)
+              << pad_left(compact_double(done.avg_omega_calls, 6), 12)
+              << pad_left(compact_double(sweep.summary.total.avg_seconds * 1e6,
+                                         4) + "us",
+                          11)
+              << pad_left(compact_double(sweep.wall_seconds, 3) + "s", 13)
+              << "\n";
+    const bool is_race = sweep.backend == OptimalBackend::Portfolio;
+    csv.row({sweep.name, std::to_string(runs), std::to_string(done.runs),
+             compact_double(done.percent, 6),
+             compact_double(done.avg_omega_calls, 8),
+             compact_double(sweep.summary.total.avg_seconds, 8),
+             compact_double(sweep.wall_seconds, 6),
+             std::to_string(is_race ? wins_bnb : 0),
+             std::to_string(is_race ? wins_cp : 0)});
+  }
+
+  std::cout << "\nportfolio win split: bnb " << wins_bnb << ", cp " << wins_cp
+            << " (first finisher; timing-dependent)\n"
+            << "cross-checked optima on " << cross_checked
+            << " blocks completed by both backends\n";
+
+  CorpusBenchMeta meta;
+  meta.machine = base.machine.name();
+  meta.backend = "portfolio";
+  meta.curtail_lambda = base.search.curtail_lambda;
+  meta.deadline_seconds = base.search.deadline_seconds;
+  meta.total_wall_seconds = race.wall_seconds;
+  write_corpus_bench_json(race.summary, race.records, meta,
+                          "BENCH_corpus_portfolio.json");
+  std::cout << "CSV written to portfolio_race.csv; roll-up in "
+               "BENCH_corpus_portfolio.json\n";
+  return 0;
+}

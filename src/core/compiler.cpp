@@ -19,68 +19,17 @@ LogHistogram& compile_stage_histogram(const char* stage) {
                            "Wall-clock seconds per compile stage");
 }
 
-const char* scheduler_kind_name(SchedulerKind kind) {
-  switch (kind) {
-    case SchedulerKind::Original:
-      return "original";
-    case SchedulerKind::List:
-      return "list";
-    case SchedulerKind::Greedy:
-      return "greedy";
-    case SchedulerKind::Optimal:
-      return "optimal";
-    case SchedulerKind::Exhaustive:
-      return "exhaustive";
-  }
-  return "?";
-}
-
 Schedule run_scheduler(SchedulerKind kind, const Machine& machine,
                        const DepGraph& dag, const SearchConfig& search,
                        SearchStats* stats, const PipelineState& initial) {
   // Named after the scheduler so the timeline distinguishes e.g. the
-  // list-schedule seed pass from the optimal search.
+  // list-schedule seed pass from the optimal search. Every policy fills
+  // its full stats ledger itself (Scheduler-interface contract).
   TraceSpan trace_span(scheduler_kind_name(kind));
-  Timer wall;
-  Schedule schedule;
-  SearchStats local;
-  switch (kind) {
-    case SchedulerKind::Original: {
-      std::vector<TupleIndex> order(dag.size());
-      for (std::size_t i = 0; i < order.size(); ++i) {
-        order[i] = static_cast<TupleIndex>(i);
-      }
-      schedule = evaluate_order(machine, dag, order, initial);
-      break;
-    }
-    case SchedulerKind::List:
-      schedule = list_schedule(machine, dag, initial);
-      break;
-    case SchedulerKind::Greedy:
-      schedule = greedy_schedule(machine, dag, initial);
-      break;
-    case SchedulerKind::Optimal: {
-      OptimalResult result = optimal_schedule(machine, dag, search, initial);
-      schedule = std::move(result.best);
-      local = result.stats;
-      break;
-    }
-    case SchedulerKind::Exhaustive: {
-      ExhaustiveResult result = exhaustive_schedule(machine, dag);
-      schedule = std::move(result.best);
-      local.schedules_examined = result.schedules_examined;
-      local.omega_calls = result.schedules_examined;
-      local.completed = result.completed;
-      break;
-    }
-  }
-  // An infeasible constrained search has no meaningful best cost — keep
-  // the scheduler's -1 sentinel instead of the infeasible seed's count.
-  if (local.feasible) local.best_nops = schedule.total_nops();
-  if (kind != SchedulerKind::Optimal) local.initial_nops = local.best_nops;
-  local.seconds = wall.seconds();
-  if (stats) *stats = local;
-  return schedule;
+  ScheduleResult result = make_scheduler(kind, search)->run(machine, dag,
+                                                            initial);
+  if (stats) *stats = result.stats;
+  return std::move(result.schedule);
 }
 
 namespace {
@@ -184,14 +133,14 @@ RegisterLimitedResult compile_with_register_limit(const BasicBlock& block,
   }();
   SearchConfig search = options.search;
   search.max_live_registers = options.registers;
-  const OptimalResult searched = [&] {
+  const ScheduleResult searched = [&] {
     PS_TRACE_SPAN("schedule");
-    return optimal_schedule(options.machine, dag, search);
+    return run_optimal_backend(options.machine, dag, search);
   }();
   result.scheduler_feasible = searched.stats.feasible;
   out.stats = searched.stats;
   if (searched.stats.feasible) {
-    out.schedule = searched.best;
+    out.schedule = searched.schedule;
   } else {
     // The post-spill original order is feasible by construction.
     std::vector<TupleIndex> order(out.block.size());

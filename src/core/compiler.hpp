@@ -18,18 +18,12 @@
 #include "regalloc/regalloc.hpp"
 #include "sched/optimal_scheduler.hpp"
 #include "sched/schedule.hpp"
+#include "sched/scheduler.hpp"
 
 namespace pipesched {
 
-enum class SchedulerKind {
-  Original,    ///< keep front-end order (NOPs inserted, no reordering)
-  List,        ///< machine-independent list heuristic (Section 3.2)
-  Greedy,      ///< Gross-style machine-aware heuristic baseline
-  Optimal,     ///< branch-and-bound search (Section 4.2.3)
-  Exhaustive,  ///< all legal orders (ground truth; small blocks only)
-};
-
-const char* scheduler_kind_name(SchedulerKind kind);
+// SchedulerKind and scheduler_kind_name live in sched/scheduler.hpp,
+// next to the Scheduler interface and the make_scheduler factory.
 
 class LogHistogram;
 

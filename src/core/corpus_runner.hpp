@@ -35,6 +35,9 @@ struct RunRecord {
   bool completed = true;    ///< condition [1] (provably optimal)
   CurtailReason curtail_reason = CurtailReason::None;
   bool feasible = true;     ///< pressure-constrained search found a schedule
+  /// Which racer produced the block's schedule (None unless the portfolio
+  /// backend ran the block).
+  PortfolioWinner portfolio_winner = PortfolioWinner::None;
 
   /// Branches killed per pruning rule (see SearchStats).
   std::uint64_t pruned_window = 0;
@@ -79,8 +82,9 @@ struct CorpusRunOptions {
   ProgressReporter* progress = nullptr;
 };
 
-/// Generate each parameter set's block and schedule it with the
-/// branch-and-bound scheduler. Results are indexed like `params`
+/// Generate each parameter set's block and schedule it with the optimal
+/// backend selected by `options.search.backend` (branch-and-bound by
+/// default). Results are indexed like `params`
 /// (deterministic regardless of thread interleaving, except the
 /// wall-clock `seconds` field). Per-block exceptions are captured into
 /// RunRecord::error; the batch always returns params.size() records.
@@ -140,6 +144,7 @@ void write_corpus_jsonl(const std::vector<RunRecord>& records,
 /// Run metadata for the BENCH_corpus.json roll-up.
 struct CorpusBenchMeta {
   std::string machine;
+  std::string backend = "bnb";  ///< optimal backend the corpus ran with
   std::uint64_t curtail_lambda = 0;
   double deadline_seconds = 0;
   double total_wall_seconds = 0;  ///< whole-corpus wall time

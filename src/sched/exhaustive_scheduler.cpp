@@ -1,6 +1,8 @@
 #include "sched/exhaustive_scheduler.hpp"
 
 #include "util/check.hpp"
+#include <utility>
+#include "util/timer.hpp"
 
 namespace pipesched {
 
@@ -83,6 +85,22 @@ ExhaustiveResult exhaustive_schedule(const Machine& machine,
   descend(state);
   PS_CHECK(result.schedules_examined > 0 || dag.size() == 0,
            "exhaustive search evaluated no schedule (cap too small?)");
+  return result;
+}
+
+ScheduleResult ExhaustiveScheduler::run(const Machine& machine,
+                                        const DepGraph& dag,
+                                        const PipelineState&) const {
+  Timer wall;
+  ExhaustiveResult searched = exhaustive_schedule(machine, dag);
+  ScheduleResult result;
+  result.schedule = std::move(searched.best);
+  result.stats.schedules_examined = searched.schedules_examined;
+  result.stats.omega_calls = searched.schedules_examined;
+  result.stats.completed = searched.completed;
+  result.stats.initial_nops = result.schedule.total_nops();
+  result.stats.best_nops = result.stats.initial_nops;
+  result.stats.seconds = wall.seconds();
   return result;
 }
 

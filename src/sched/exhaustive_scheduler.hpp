@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "sched/schedule.hpp"
+#include "sched/scheduler.hpp"
 #include "sched/timing.hpp"
 
 namespace pipesched {
@@ -26,5 +27,18 @@ struct ExhaustiveResult {
 ExhaustiveResult exhaustive_schedule(const Machine& machine,
                                      const DepGraph& dag,
                                      std::uint64_t max_schedules = 0);
+
+/// Scheduler-interface wrapper. Ground-truth oracle; claims optimality
+/// when the enumeration ran to completion. The stats ledger maps
+/// evaluated orders onto both schedules_examined and omega_calls (one
+/// full timing evaluation each). `initial` is ignored, as it always has
+/// been for this kind: the oracle evaluates drained-entry blocks only.
+class ExhaustiveScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "exhaustive"; }
+  bool claims_optimality() const override { return true; }
+  ScheduleResult run(const Machine& machine, const DepGraph& dag,
+                     const PipelineState& initial = {}) const override;
+};
 
 }  // namespace pipesched

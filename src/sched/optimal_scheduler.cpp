@@ -22,173 +22,8 @@ namespace pipesched {
 
 namespace {
 
-/// Publish one finished search's SearchStats into the metrics registry.
-/// The hot loop keeps mutating plain local counters (zero added cost per
-/// node); the registry receives the totals in one batch here, so registry
-/// sums are exactly the sums of the per-search stats — a property the
-/// test suite asserts.
-void flush_search_metrics(const SearchStats& stats) {
-  if (!metrics_enabled()) return;
-  static Counter& runs = metrics_counter(
-      "ps_search_runs_total", {}, "Branch-and-bound searches completed");
-  static Counter& nodes = metrics_counter(
-      "ps_search_nodes_expanded_total", {}, "Search-tree nodes expanded");
-  static Counter& omega = metrics_counter(
-      "ps_search_omega_calls_total", {},
-      "Incremental NOP-insertion (omega) invocations");
-  static Counter& examined = metrics_counter(
-      "ps_search_schedules_examined_total", {},
-      "Complete schedules compared against the incumbent");
-  static Counter& improved = metrics_counter(
-      "ps_search_incumbent_improvements_total", {},
-      "Times a complete schedule strictly beat the incumbent");
-  static const char* kPrunesHelp =
-      "Branches killed, by pruning rule (see optimal_scheduler.hpp)";
-  static Counter& pruned_window = metrics_counter(
-      "ps_search_pruned_total", {{"rule", "window"}}, kPrunesHelp);
-  static Counter& pruned_readiness = metrics_counter(
-      "ps_search_pruned_total", {{"rule", "readiness"}}, kPrunesHelp);
-  static Counter& pruned_equivalence = metrics_counter(
-      "ps_search_pruned_total", {{"rule", "equivalence"}}, kPrunesHelp);
-  static Counter& pruned_alpha_beta = metrics_counter(
-      "ps_search_pruned_total", {{"rule", "alpha_beta"}}, kPrunesHelp);
-  static Counter& pruned_lower_bound = metrics_counter(
-      "ps_search_pruned_total", {{"rule", "lower_bound"}}, kPrunesHelp);
-  static Counter& pruned_dominance = metrics_counter(
-      "ps_search_pruned_total", {{"rule", "dominance"}}, kPrunesHelp);
-  static Counter& pruned_pressure = metrics_counter(
-      "ps_search_pruned_total", {{"rule", "pressure"}}, kPrunesHelp);
-  static const char* kCacheHelp =
-      "Dominance/transposition cache traffic, by event";
-  static Counter& cache_probes = metrics_counter(
-      "ps_search_cache_events_total", {{"event", "probe"}}, kCacheHelp);
-  static Counter& cache_hits = metrics_counter(
-      "ps_search_cache_events_total", {{"event", "hit"}}, kCacheHelp);
-  static Counter& cache_misses = metrics_counter(
-      "ps_search_cache_events_total", {{"event", "miss"}}, kCacheHelp);
-  static Counter& cache_evictions = metrics_counter(
-      "ps_search_cache_events_total", {{"event", "evict"}}, kCacheHelp);
-  static Counter& cache_superseded = metrics_counter(
-      "ps_search_cache_events_total", {{"event", "supersede"}}, kCacheHelp);
-  static const char* kCurtailHelp =
-      "Searches truncated before exhausting the space, by expired budget";
-  static Counter& curtailed_lambda = metrics_counter(
-      "ps_search_curtailed_total", {{"reason", "lambda"}}, kCurtailHelp);
-  static Counter& curtailed_deadline = metrics_counter(
-      "ps_search_curtailed_total", {{"reason", "deadline"}}, kCurtailHelp);
-  static LogHistogram& seconds = metrics_histogram(
-      "ps_search_seconds", {}, "Wall-clock seconds per search");
-  static LogHistogram& frontier = metrics_histogram(
-      "ps_search_frontier_subtrees", {},
-      "Disjoint root subtrees per parallel search (frontier split width)");
-
-  runs.increment();
-  if (stats.frontier_subtrees > 0) {
-    frontier.observe(static_cast<double>(stats.frontier_subtrees));
-  }
-  nodes.add(stats.nodes_expanded);
-  omega.add(stats.omega_calls);
-  examined.add(stats.schedules_examined);
-  improved.add(stats.incumbent_improvements);
-  pruned_window.add(stats.pruned_window);
-  pruned_readiness.add(stats.pruned_readiness);
-  pruned_equivalence.add(stats.pruned_equivalence);
-  pruned_alpha_beta.add(stats.pruned_alpha_beta);
-  pruned_lower_bound.add(stats.pruned_lower_bound);
-  pruned_dominance.add(stats.pruned_dominance);
-  pruned_pressure.add(stats.pruned_pressure);
-  cache_probes.add(stats.cache_probes);
-  cache_hits.add(stats.cache_hits);
-  cache_misses.add(stats.cache_misses);
-  cache_evictions.add(stats.cache_evictions);
-  cache_superseded.add(stats.cache_superseded);
-  if (stats.curtail_reason == CurtailReason::Lambda) {
-    curtailed_lambda.increment();
-  } else if (stats.curtail_reason == CurtailReason::Deadline) {
-    curtailed_deadline.increment();
-  }
-  seconds.observe(stats.seconds);
-}
-
-/// Partition tuples into equivalence classes for prune [5c].
-/// Paper rule: every sigma-empty, rho-empty instruction shares one class
-/// (such instructions are timing-transparent, so their relative order is
-/// immaterial). Strong rule (extension): additionally, instructions with
-/// identical (pipeline set, predecessor set, immediate successor set) are
-/// DAG automorphisms of one another and share a class — this *subsumes*
-/// the paper rule's class rather than replacing it.
-std::vector<int> equivalence_classes(const Machine& machine,
-                                     const DepGraph& dag, bool strong,
-                                     bool pressure_constrained) {
-  const std::size_t n = dag.size();
-  std::vector<int> cls(n, -1);
-  int next = 1;
-
-  // Paper rule: one shared class (id 0) for null-like instructions. The
-  // rule is cost-sound but NOT pressure-sound (reordering null-like defs
-  // shifts live ranges), so it is disabled under a register ceiling; the
-  // strong automorphism classes below remain sound either way.
-  if (!pressure_constrained) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const Opcode op = dag.block().tuple(static_cast<TupleIndex>(i)).op;
-      if (!machine.uses_pipeline(op) &&
-          dag.preds(static_cast<TupleIndex>(i)).empty()) {
-        cls[i] = 0;
-      }
-    }
-  }
-  if (!strong) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (cls[i] < 0) cls[i] = next++;
-    }
-    return cls;
-  }
-
-  // Strong classes for the rest: quadratic scan is fine at block sizes.
-  std::vector<DynBitset> succ_sets(n, DynBitset(n));
-  for (std::size_t i = 0; i < n; ++i) {
-    for (TupleIndex s : dag.succs(static_cast<TupleIndex>(i))) {
-      succ_sets[i].set(static_cast<std::size_t>(s));
-    }
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (cls[i] >= 0) continue;
-    cls[i] = next;
-    const auto& units_i = machine.pipelines_for(
-        dag.block().tuple(static_cast<TupleIndex>(i)).op);
-    for (std::size_t j = i + 1; j < n; ++j) {
-      if (cls[j] >= 0) continue;
-      const auto& units_j = machine.pipelines_for(
-          dag.block().tuple(static_cast<TupleIndex>(j)).op);
-      if (units_i == units_j &&
-          dag.pred_set(static_cast<TupleIndex>(i)) ==
-              dag.pred_set(static_cast<TupleIndex>(j)) &&
-          succ_sets[i] == succ_sets[j]) {
-        cls[j] = next;
-      }
-    }
-    ++next;
-  }
-  return cls;
-}
-
-/// Latency-weighted height below each tuple: a chain from t's issue to the
-/// final instruction's issue needs at least lh(t) further cycles, because
-/// each dependence edge forces max(1, latency(producer)) cycles between
-/// issues. Used by the admissible lower bound.
-std::vector<int> latency_heights(const Machine& machine, const DepGraph& dag) {
-  const std::size_t n = dag.size();
-  std::vector<int> lh(n, 0);
-  for (std::size_t ri = n; ri-- > 0;) {
-    const auto index = static_cast<TupleIndex>(ri);
-    const int step =
-        std::max(1, machine.latency_for(dag.block().tuple(index).op));
-    for (TupleIndex s : dag.succs(index)) {
-      lh[ri] = std::max(lh[ri], step + lh[static_cast<std::size_t>(s)]);
-    }
-  }
-  return lh;
-}
+// flush_search_metrics, equivalence_classes, and latency_heights moved to
+// sched/scheduler.{hpp,cpp}: they are shared by every optimal backend.
 
 constexpr int kInfiniteCost = std::numeric_limits<int>::max() / 2;
 
@@ -639,7 +474,16 @@ class Search {
     trace_counter("search/depth", static_cast<double>(timer_.depth()));
   }
 
+  /// Cooperative cancellation through SearchConfig::cancel (how the
+  /// portfolio stops a losing racer). Checked alongside the budgets at
+  /// every curtail point, so cancellation latency is one candidate loop.
+  bool cancel_requested() const {
+    return config_.cancel != nullptr &&
+           config_.cancel->load(std::memory_order_relaxed);
+  }
+
   bool curtailed() const {
+    if (cancel_requested()) return true;
     if (shared_) {
       if (shared_->stop.load(std::memory_order_relaxed) ||
           shared_->deadline_expired.load(std::memory_order_relaxed)) {
@@ -657,18 +501,20 @@ class Search {
             stats_->omega_calls >= config_.curtail_lambda);
   }
 
-  /// Mark the search truncated and record which budget fired. The
-  /// deadline takes precedence: once the clock has expired, lambda no
-  /// longer describes why we stopped. In shared mode the FIRST worker to
-  /// trip a budget publishes the reason and raises the stop flag; workers
-  /// that unwind because of the flag adopt the published reason, so every
-  /// ledger of one curtailed parallel search reports the same cause.
+  /// Mark the search truncated and record which budget fired.
+  /// Cancellation outranks the deadline outranks lambda: once a stronger
+  /// signal arrived, the weaker budget no longer describes why we
+  /// stopped. In shared mode the FIRST worker to trip a budget publishes
+  /// the reason and raises the stop flag; workers that unwind because of
+  /// the flag adopt the published reason, so every ledger of one
+  /// curtailed parallel search reports the same cause.
   void record_curtail() {
     stats_->completed = false;
     if (shared_) {
       int expected = static_cast<int>(CurtailReason::None);
       const int mine = static_cast<int>(
-          shared_->deadline_expired.load(std::memory_order_relaxed)
+          cancel_requested() ? CurtailReason::Cancelled
+          : shared_->deadline_expired.load(std::memory_order_relaxed)
               ? CurtailReason::Deadline
               : CurtailReason::Lambda);
       shared_->curtail_reason.compare_exchange_strong(expected, mine);
@@ -677,8 +523,9 @@ class Search {
           shared_->curtail_reason.load(std::memory_order_relaxed));
       return;
     }
-    stats_->curtail_reason = deadline_expired_ ? CurtailReason::Deadline
-                                               : CurtailReason::Lambda;
+    stats_->curtail_reason = cancel_requested() ? CurtailReason::Cancelled
+                             : deadline_expired_ ? CurtailReason::Deadline
+                                                 : CurtailReason::Lambda;
   }
 
   /// Admissible lower bound on the final issue cycle of any completion of

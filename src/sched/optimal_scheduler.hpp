@@ -53,9 +53,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "sched/schedule.hpp"
+#include "sched/scheduler.hpp"
 #include "sched/timing.hpp"
 
 namespace pipesched {
@@ -67,59 +69,9 @@ namespace pipesched {
 /// (sequential searches still curtail at exactly lambda).
 inline constexpr std::uint64_t kParallelOmegaFlushInterval = 256;
 
-struct SearchConfig {
-  /// Maximum candidate placements (Lambda limit); 0 = search to exhaustion.
-  std::uint64_t curtail_lambda = 1000;
-
-  /// Wall-clock budget in seconds (0 = none). Lambda bounds *machine-
-  /// relative* work; this bounds real time, which is what batch compile
-  /// farms actually budget. Expiry curtails exactly like lambda — the
-  /// incumbent is kept, completed=false — and SearchStats::curtail_reason
-  /// records which budget fired. The clock (steady_clock) is sampled every
-  /// ~1024 node expansions, so the hot loop stays branch-cheap and the
-  /// effective deadline overshoots by at most one check interval.
-  double deadline_seconds = 0;
-
-  bool alpha_beta = true;             ///< rule [6]
-  bool equivalence_prune = true;      ///< rule [5c], paper form
-  bool strong_equivalence = false;    ///< automorphism classes (extension)
-  bool window_prune = true;           ///< forced-position rule from [5a]
-  bool lower_bound_prune = false;     ///< critical-path bound (extension)
-  bool seed_with_list_schedule = true;  ///< step [1] seed; else original order
-
-  /// State-dominance (transposition) cache: prune branches that reach an
-  /// already-visited scheduler state at equal-or-worse partial cost.
-  /// Cost-preserving (never prunes all optima) and compatible with every
-  /// other rule, including the register-pressure ceiling — live counts
-  /// are a function of the placed *set*, which is part of the state key.
-  bool dominance_cache = true;
-
-  /// Memory budget for the dominance cache, per search (16-byte entries;
-  /// the table starts small and grows on demand up to this bound).
-  std::size_t dominance_cache_bytes = 1u << 20;
-
-  /// Worker threads for the search itself (1 = the classic sequential
-  /// algorithm, bit-identical to previous releases; 0 = one per hardware
-  /// thread). With N > 1 the search first expands a breadth-first frontier
-  /// of at least N x 8 disjoint subtree roots, then explores the subtrees
-  /// on a thread pool sharing (a) the incumbent — sound for alpha-beta
-  /// because the bound only ever tightens, (b) a sharded dominance cache,
-  /// and (c) the global lambda/deadline budgets. Exhaustive parallel runs
-  /// return the same best_nops as sequential ones (the schedule attaining
-  /// it may be a different optimum); curtailed runs may overshoot lambda
-  /// by up to N x kParallelOmegaFlushInterval omega calls.
-  std::size_t search_threads = 1;
-
-  /// Register-pressure ceiling (0 = unconstrained). When set, the search
-  /// only explores schedules whose simultaneously-live value count never
-  /// exceeds this, implementing Section 3.1's discipline the other way
-  /// round: instead of inserting spill code after the fact, the scheduler
-  /// is barred from creating schedules the register file cannot hold, so
-  /// allocation afterwards is guaranteed spill-free. The result is the
-  /// optimal schedule *among the feasible ones*; stats.feasible reports
-  /// whether any complete feasible schedule was found.
-  int max_live_registers = 0;
-};
+// SearchConfig lives in sched/scheduler.hpp (it is shared by every
+// optimal backend, and SchedulerKind::Optimal dispatches on its
+// `backend` field).
 
 struct OptimalResult {
   /// Best schedule found. When stats.feasible is false (pressure-
@@ -155,5 +107,24 @@ struct OptimalResult {
 OptimalResult optimal_schedule(const Machine& machine, const DepGraph& dag,
                                const SearchConfig& config = {},
                                const PipelineState& initial = {});
+
+/// Scheduler-interface wrapper over optimal_schedule() (the B&B backend
+/// of SchedulerKind::Optimal; the parallel-detail ledger is dropped).
+class BnbScheduler final : public Scheduler {
+ public:
+  explicit BnbScheduler(const SearchConfig& config) : config_(config) {}
+
+  const char* name() const override { return "bnb"; }
+  bool claims_optimality() const override { return true; }
+
+  ScheduleResult run(const Machine& machine, const DepGraph& dag,
+                     const PipelineState& initial = {}) const override {
+    OptimalResult result = optimal_schedule(machine, dag, config_, initial);
+    return {std::move(result.best), result.stats};
+  }
+
+ private:
+  SearchConfig config_;
+};
 
 }  // namespace pipesched

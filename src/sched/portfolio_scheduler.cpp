@@ -1,0 +1,110 @@
+#include "sched/portfolio_scheduler.hpp"
+
+#include <atomic>
+#include <exception>
+#include <utility>
+
+#include "sched/cp_scheduler.hpp"
+#include "sched/optimal_scheduler.hpp"
+#include "util/check.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace pipesched {
+
+namespace {
+
+void count_portfolio_win(PortfolioWinner winner) {
+  if (!metrics_enabled()) return;
+  static const char* kHelp = "Portfolio races decided, by winning backend";
+  static Counter& bnb =
+      metrics_counter("ps_portfolio_wins", {{"backend", "bnb"}}, kHelp);
+  static Counter& cp =
+      metrics_counter("ps_portfolio_wins", {{"backend", "cp"}}, kHelp);
+  (winner == PortfolioWinner::Bnb ? bnb : cp).increment();
+}
+
+}  // namespace
+
+ScheduleResult portfolio_schedule(const Machine& machine, const DepGraph& dag,
+                                  const SearchConfig& config,
+                                  const PipelineState& initial) {
+  Timer wall;
+  std::atomic<bool> cancel[2] = {{false}, {false}};  // [0]=bnb, [1]=cp
+  std::atomic<int> finish_counter{0};
+  int finish_rank[2] = {0, 0};  // each written once, by its own racer
+  ScheduleResult results[2];
+  std::exception_ptr errors[2] = {nullptr, nullptr};
+
+  {
+    ThreadPool pool(2, "portfolio-");
+    pool.submit([&] {
+      try {
+        SearchConfig cfg = config;
+        cfg.backend = OptimalBackend::Bnb;
+        cfg.cancel = &cancel[0];
+        OptimalResult r = optimal_schedule(machine, dag, cfg, initial);
+        results[0] = {std::move(r.best), r.stats};
+      } catch (...) {
+        errors[0] = std::current_exception();
+      }
+      finish_rank[0] = 1 + finish_counter.fetch_add(1);
+      if (results[0].stats.completed && !errors[0]) {
+        cancel[1].store(true, std::memory_order_relaxed);
+      }
+    });
+    pool.submit([&] {
+      try {
+        SearchConfig cfg = config;
+        cfg.backend = OptimalBackend::Cp;
+        cfg.cancel = &cancel[1];
+        results[1] = cp_schedule(machine, dag, cfg, initial);
+      } catch (...) {
+        errors[1] = std::current_exception();
+      }
+      finish_rank[1] = 1 + finish_counter.fetch_add(1);
+      if (results[1].stats.completed && !errors[1]) {
+        cancel[0].store(true, std::memory_order_relaxed);
+      }
+    });
+    pool.wait_idle();
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  const SearchStats& bnb = results[0].stats;
+  const SearchStats& cp = results[1].stats;
+  int winner;
+  if (bnb.completed && cp.completed) {
+    // Both proved their answer: any disagreement is a soundness bug in
+    // one of the two independent solvers. Fail loudly; the corpus runner
+    // surfaces this as a per-block error.
+    PS_CHECK(bnb.feasible == cp.feasible,
+             "optimal backends disagree on feasibility");
+    PS_CHECK(bnb.best_nops == cp.best_nops,
+             "optimal backends disagree on the optimum");
+    winner = finish_rank[0] <= finish_rank[1] ? 0 : 1;
+  } else if (bnb.completed != cp.completed) {
+    winner = bnb.completed ? 0 : 1;
+  } else {
+    // Neither finished: keep the better incumbent, B&B on exact ties.
+    if (bnb.feasible != cp.feasible) {
+      winner = bnb.feasible ? 0 : 1;
+    } else if (bnb.feasible && cp.best_nops < bnb.best_nops) {
+      winner = 1;
+    } else {
+      winner = 0;
+    }
+  }
+
+  ScheduleResult out = std::move(results[winner]);
+  out.stats.portfolio_winner =
+      winner == 0 ? PortfolioWinner::Bnb : PortfolioWinner::Cp;
+  out.stats.seconds = wall.seconds();
+  count_portfolio_win(out.stats.portfolio_winner);
+  return out;
+}
+
+}  // namespace pipesched

@@ -1,0 +1,67 @@
+// Portfolio optimal backend: race branch-and-bound against CP per block.
+//
+// The two exact backends have complementary shapes — B&B enumerates
+// permutations and excels when the incumbent prunes hard; CP probes
+// makespans and excels when timing windows are tight — so the portfolio
+// hedges enumeration blow-ups by running both on a two-worker thread pool
+// and keeping the first finisher.
+//
+// Racing protocol:
+//   * each racer gets its own std::atomic<bool> stop flag, wired through
+//     SearchConfig::cancel (the same stop-flag discipline the parallel
+//     B&B search uses internally);
+//   * ONLY a racer that finished with stats.completed == true raises the
+//     other's flag — a curtailed racer proves nothing, so its partner
+//     keeps running within its own lambda/deadline budgets;
+//   * the loser unwinds at its next budget check, records
+//     CurtailReason::Cancelled, and wait_idle() drains both tasks — no
+//     work is ever abandoned in the pool queue (the portfolio tests
+//     assert this via the queue-depth gauge).
+//
+// Winner selection (deterministic given the racers' results):
+//   * both completed: they must agree on feasibility and best_nops — any
+//     disagreement is a soundness bug in one backend and fails loudly
+//     (PS_CHECK) — and the first wall-clock finisher wins, which is the
+//     only raceable outcome and is diagnostic only;
+//   * exactly one completed: it wins (its result is proven optimal);
+//   * neither completed: the better incumbent wins — feasible beats
+//     infeasible, then fewer NOPs, with B&B breaking exact ties.
+//
+// The winner's result is returned verbatim except that
+// stats.portfolio_winner records the backend and stats.seconds becomes
+// the portfolio's wall clock; the loser's ledger is dropped. Wins are
+// also counted in the metrics registry as ps_portfolio_wins{backend=...}.
+//
+// Curtailment budgets (curtail_lambda, deadline_seconds) propagate to
+// BOTH racers unchanged, so a portfolio run never does more per-backend
+// work than a standalone run. An outer SearchConfig::cancel is NOT
+// forwarded to the racers (no caller cancels a portfolio run today);
+// search_threads applies to the B&B racer only (CP is sequential).
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace pipesched {
+
+/// Race the two exact backends on one block (free-function form).
+ScheduleResult portfolio_schedule(const Machine& machine, const DepGraph& dag,
+                                  const SearchConfig& config = {},
+                                  const PipelineState& initial = {});
+
+class PortfolioScheduler final : public Scheduler {
+ public:
+  explicit PortfolioScheduler(const SearchConfig& config) : config_(config) {}
+
+  const char* name() const override { return "portfolio"; }
+  bool claims_optimality() const override { return true; }
+
+  ScheduleResult run(const Machine& machine, const DepGraph& dag,
+                     const PipelineState& initial = {}) const override {
+    return portfolio_schedule(machine, dag, config_, initial);
+  }
+
+ private:
+  SearchConfig config_;
+};
+
+}  // namespace pipesched

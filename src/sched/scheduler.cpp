@@ -1,0 +1,299 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "sched/cp_scheduler.hpp"
+#include "sched/exhaustive_scheduler.hpp"
+#include "sched/greedy_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/optimal_scheduler.hpp"
+#include "sched/portfolio_scheduler.hpp"
+#include "util/check.hpp"
+#include "util/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace pipesched {
+
+const char* scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::Original:
+      return "original";
+    case SchedulerKind::List:
+      return "list";
+    case SchedulerKind::Greedy:
+      return "greedy";
+    case SchedulerKind::Optimal:
+      return "optimal";
+    case SchedulerKind::Exhaustive:
+      return "exhaustive";
+  }
+  return "?";
+}
+
+const char* optimal_backend_name(OptimalBackend backend) {
+  switch (backend) {
+    case OptimalBackend::Bnb:
+      return "bnb";
+    case OptimalBackend::Cp:
+      return "cp";
+    case OptimalBackend::Portfolio:
+      return "portfolio";
+  }
+  return "?";
+}
+
+bool parse_optimal_backend(const std::string& name, OptimalBackend* out) {
+  if (name == "bnb") {
+    *out = OptimalBackend::Bnb;
+  } else if (name == "cp") {
+    *out = OptimalBackend::Cp;
+  } else if (name == "portfolio") {
+    *out = OptimalBackend::Portfolio;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// SchedulerKind::Original — keep the front-end tuple order and let the
+/// timing engine insert whatever NOPs it needs. The do-nothing baseline
+/// every experiment's "before" column uses.
+class OriginalOrderScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "original"; }
+
+  ScheduleResult run(const Machine& machine, const DepGraph& dag,
+                     const PipelineState& initial) const override {
+    Timer wall;
+    ScheduleResult result;
+    std::vector<TupleIndex> order(dag.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<TupleIndex>(i);
+    }
+    result.schedule = evaluate_order(machine, dag, order, initial);
+    result.stats.initial_nops = result.schedule.total_nops();
+    result.stats.best_nops = result.stats.initial_nops;
+    result.stats.seconds = wall.seconds();
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          const SearchConfig& config) {
+  switch (kind) {
+    case SchedulerKind::Original:
+      return std::make_unique<OriginalOrderScheduler>();
+    case SchedulerKind::List:
+      return std::make_unique<ListScheduler>();
+    case SchedulerKind::Greedy:
+      return std::make_unique<GreedyScheduler>();
+    case SchedulerKind::Optimal:
+      switch (config.backend) {
+        case OptimalBackend::Bnb:
+          return std::make_unique<BnbScheduler>(config);
+        case OptimalBackend::Cp:
+          return std::make_unique<CpScheduler>(config);
+        case OptimalBackend::Portfolio:
+          return std::make_unique<PortfolioScheduler>(config);
+      }
+      PS_CHECK(false, "unknown optimal backend");
+    case SchedulerKind::Exhaustive:
+      return std::make_unique<ExhaustiveScheduler>();
+  }
+  PS_CHECK(false, "unknown scheduler kind");
+}
+
+ScheduleResult run_optimal_backend(const Machine& machine, const DepGraph& dag,
+                                   const SearchConfig& config,
+                                   const PipelineState& initial) {
+  return make_scheduler(SchedulerKind::Optimal, config)
+      ->run(machine, dag, initial);
+}
+
+std::vector<int> equivalence_classes(const Machine& machine,
+                                     const DepGraph& dag, bool strong,
+                                     bool pressure_constrained) {
+  const std::size_t n = dag.size();
+  std::vector<int> cls(n, -1);
+  int next = 1;
+
+  // Paper rule: one shared class (id 0) for null instructions — no unit,
+  // no predecessors, AND no dependents. All three are required for the
+  // position-swap argument: a sigma-empty source with successors is not
+  // interchangeable with its classmates (issuing it early is what lets
+  // its consumer start early), and one with predecessors can stall on
+  // producer latency where a classmate would not. The cross-solver
+  // differential oracle caught the successor case as a missed optimum.
+  // The rule is cost-sound but NOT pressure-sound (reordering null defs
+  // shifts live ranges), so it is disabled under a register ceiling; the
+  // strong automorphism classes below remain sound either way.
+  if (!pressure_constrained) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Opcode op = dag.block().tuple(static_cast<TupleIndex>(i)).op;
+      if (!machine.uses_pipeline(op) &&
+          dag.preds(static_cast<TupleIndex>(i)).empty() &&
+          dag.succs(static_cast<TupleIndex>(i)).empty()) {
+        cls[i] = 0;
+      }
+    }
+  }
+  if (!strong) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cls[i] < 0) cls[i] = next++;
+    }
+    return cls;
+  }
+
+  // Strong classes for the rest: quadratic scan is fine at block sizes.
+  std::vector<DynBitset> succ_sets(n, DynBitset(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (TupleIndex s : dag.succs(static_cast<TupleIndex>(i))) {
+      succ_sets[i].set(static_cast<std::size_t>(s));
+    }
+  }
+  // Under a register ceiling, classmates must additionally be
+  // liveness-interchangeable: swapping their issue positions replays the
+  // same live-set trajectory. Identical pred *sets* are not enough —
+  // `Add 1, 1` consumes two remaining uses of tuple 1 where `Neg 1`
+  // consumes one — so require the operand-ref multiset and result-ness
+  // to match too. (Use counts of i and j agree automatically: with equal
+  // succ sets every common successor references each exactly once.)
+  const auto pressure_signature = [&](std::size_t i) {
+    const Tuple& t = dag.block().tuple(static_cast<TupleIndex>(i));
+    TupleIndex lo = t.a.is_ref() ? t.a.ref : -1;
+    TupleIndex hi = t.b.is_ref() ? t.b.ref : -1;
+    if (lo > hi) std::swap(lo, hi);
+    return std::tuple<bool, TupleIndex, TupleIndex>(
+        opcode_has_result(t.op), lo, hi);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cls[i] >= 0) continue;
+    cls[i] = next;
+    const auto& units_i = machine.pipelines_for(
+        dag.block().tuple(static_cast<TupleIndex>(i)).op);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (cls[j] >= 0) continue;
+      const auto& units_j = machine.pipelines_for(
+          dag.block().tuple(static_cast<TupleIndex>(j)).op);
+      if (units_i == units_j &&
+          dag.pred_set(static_cast<TupleIndex>(i)) ==
+              dag.pred_set(static_cast<TupleIndex>(j)) &&
+          succ_sets[i] == succ_sets[j] &&
+          (!pressure_constrained ||
+           pressure_signature(i) == pressure_signature(j))) {
+        cls[j] = next;
+      }
+    }
+    ++next;
+  }
+  return cls;
+}
+
+std::vector<int> latency_heights(const Machine& machine, const DepGraph& dag) {
+  const std::size_t n = dag.size();
+  std::vector<int> lh(n, 0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    const auto index = static_cast<TupleIndex>(ri);
+    const int step =
+        std::max(1, machine.latency_for(dag.block().tuple(index).op));
+    for (TupleIndex s : dag.succs(index)) {
+      lh[ri] = std::max(lh[ri], step + lh[static_cast<std::size_t>(s)]);
+    }
+  }
+  return lh;
+}
+
+void flush_search_metrics(const SearchStats& stats) {
+  if (!metrics_enabled()) return;
+  static Counter& runs = metrics_counter(
+      "ps_search_runs_total", {}, "Optimal-backend searches completed");
+  static Counter& nodes = metrics_counter(
+      "ps_search_nodes_expanded_total", {}, "Search-tree nodes expanded");
+  static Counter& omega = metrics_counter(
+      "ps_search_omega_calls_total", {},
+      "Incremental NOP-insertion (omega) invocations");
+  static Counter& examined = metrics_counter(
+      "ps_search_schedules_examined_total", {},
+      "Complete schedules compared against the incumbent");
+  static Counter& improved = metrics_counter(
+      "ps_search_incumbent_improvements_total", {},
+      "Times a complete schedule strictly beat the incumbent");
+  static const char* kPrunesHelp =
+      "Branches killed, by pruning rule (see optimal_scheduler.hpp)";
+  static Counter& pruned_window = metrics_counter(
+      "ps_search_pruned_total", {{"rule", "window"}}, kPrunesHelp);
+  static Counter& pruned_readiness = metrics_counter(
+      "ps_search_pruned_total", {{"rule", "readiness"}}, kPrunesHelp);
+  static Counter& pruned_equivalence = metrics_counter(
+      "ps_search_pruned_total", {{"rule", "equivalence"}}, kPrunesHelp);
+  static Counter& pruned_alpha_beta = metrics_counter(
+      "ps_search_pruned_total", {{"rule", "alpha_beta"}}, kPrunesHelp);
+  static Counter& pruned_lower_bound = metrics_counter(
+      "ps_search_pruned_total", {{"rule", "lower_bound"}}, kPrunesHelp);
+  static Counter& pruned_dominance = metrics_counter(
+      "ps_search_pruned_total", {{"rule", "dominance"}}, kPrunesHelp);
+  static Counter& pruned_pressure = metrics_counter(
+      "ps_search_pruned_total", {{"rule", "pressure"}}, kPrunesHelp);
+  static const char* kCacheHelp =
+      "Dominance/transposition cache traffic, by event";
+  static Counter& cache_probes = metrics_counter(
+      "ps_search_cache_events_total", {{"event", "probe"}}, kCacheHelp);
+  static Counter& cache_hits = metrics_counter(
+      "ps_search_cache_events_total", {{"event", "hit"}}, kCacheHelp);
+  static Counter& cache_misses = metrics_counter(
+      "ps_search_cache_events_total", {{"event", "miss"}}, kCacheHelp);
+  static Counter& cache_evictions = metrics_counter(
+      "ps_search_cache_events_total", {{"event", "evict"}}, kCacheHelp);
+  static Counter& cache_superseded = metrics_counter(
+      "ps_search_cache_events_total", {{"event", "supersede"}}, kCacheHelp);
+  static const char* kCurtailHelp =
+      "Searches truncated before exhausting the space, by expired budget";
+  static Counter& curtailed_lambda = metrics_counter(
+      "ps_search_curtailed_total", {{"reason", "lambda"}}, kCurtailHelp);
+  static Counter& curtailed_deadline = metrics_counter(
+      "ps_search_curtailed_total", {{"reason", "deadline"}}, kCurtailHelp);
+  static Counter& curtailed_cancelled = metrics_counter(
+      "ps_search_curtailed_total", {{"reason", "cancelled"}}, kCurtailHelp);
+  static LogHistogram& seconds = metrics_histogram(
+      "ps_search_seconds", {}, "Wall-clock seconds per search");
+  static LogHistogram& frontier = metrics_histogram(
+      "ps_search_frontier_subtrees", {},
+      "Disjoint root subtrees per parallel search (frontier split width)");
+
+  runs.increment();
+  if (stats.frontier_subtrees > 0) {
+    frontier.observe(static_cast<double>(stats.frontier_subtrees));
+  }
+  nodes.add(stats.nodes_expanded);
+  omega.add(stats.omega_calls);
+  examined.add(stats.schedules_examined);
+  improved.add(stats.incumbent_improvements);
+  pruned_window.add(stats.pruned_window);
+  pruned_readiness.add(stats.pruned_readiness);
+  pruned_equivalence.add(stats.pruned_equivalence);
+  pruned_alpha_beta.add(stats.pruned_alpha_beta);
+  pruned_lower_bound.add(stats.pruned_lower_bound);
+  pruned_dominance.add(stats.pruned_dominance);
+  pruned_pressure.add(stats.pruned_pressure);
+  cache_probes.add(stats.cache_probes);
+  cache_hits.add(stats.cache_hits);
+  cache_misses.add(stats.cache_misses);
+  cache_evictions.add(stats.cache_evictions);
+  cache_superseded.add(stats.cache_superseded);
+  if (stats.curtail_reason == CurtailReason::Lambda) {
+    curtailed_lambda.increment();
+  } else if (stats.curtail_reason == CurtailReason::Deadline) {
+    curtailed_deadline.increment();
+  } else if (stats.curtail_reason == CurtailReason::Cancelled) {
+    curtailed_cancelled.increment();
+  }
+  seconds.observe(stats.seconds);
+}
+
+}  // namespace pipesched

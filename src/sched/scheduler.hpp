@@ -1,0 +1,192 @@
+// Common scheduler interface (the pasched-style `Scheduler` base).
+//
+// Every scheduling policy in src/sched/ — original order, list, greedy,
+// exhaustive, and the three optimal backends (branch-and-bound, CP/DP,
+// and the portfolio racer) — implements one virtual entry point:
+//
+//   ScheduleResult run(machine, dag, initial)
+//
+// returning the schedule plus a fully-defaulted SearchStats ledger, so
+// drivers (compiler, corpus runner, psc, benches) treat every policy
+// uniformly and never read half-filled backend-specific fields.
+//
+// The two *optimal* backends are independent implementations of the same
+// specification (minimum-NOP schedule under the Section 4.2.2 timing
+// rules). Both claim optimality whenever stats.completed is true, so any
+// disagreement between them on best_nops is a soundness bug in one of the
+// two — the cross-solver differential suite (tests/test_cp_differential)
+// leans on exactly this property.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sched/schedule.hpp"
+#include "sched/timing.hpp"
+
+namespace pipesched {
+
+enum class SchedulerKind {
+  Original,    ///< keep front-end order (NOPs inserted, no reordering)
+  List,        ///< machine-independent list heuristic (Section 3.2)
+  Greedy,      ///< Gross-style machine-aware heuristic baseline
+  Optimal,     ///< optimal search (backend selected by SearchConfig)
+  Exhaustive,  ///< all legal orders (ground truth; small blocks only)
+};
+
+const char* scheduler_kind_name(SchedulerKind kind);
+
+/// Which optimal-search implementation SchedulerKind::Optimal runs.
+enum class OptimalBackend {
+  Bnb,        ///< branch-and-bound over schedule prefixes (Section 4.2.3)
+  Cp,         ///< CP/DP over (cycle, issue-slot) assignments
+  Portfolio,  ///< race Bnb against Cp per block; first finisher wins
+};
+
+const char* optimal_backend_name(OptimalBackend backend);
+
+/// Parse "bnb" | "cp" | "portfolio"; returns false on unknown names.
+bool parse_optimal_backend(const std::string& name, OptimalBackend* out);
+
+struct SearchConfig {
+  /// Maximum candidate placements (Lambda limit); 0 = search to exhaustion.
+  std::uint64_t curtail_lambda = 1000;
+
+  /// Wall-clock budget in seconds (0 = none). Lambda bounds *machine-
+  /// relative* work; this bounds real time, which is what batch compile
+  /// farms actually budget. Expiry curtails exactly like lambda — the
+  /// incumbent is kept, completed=false — and SearchStats::curtail_reason
+  /// records which budget fired. The clock (steady_clock) is sampled every
+  /// ~1024 node expansions, so the hot loop stays branch-cheap and the
+  /// effective deadline overshoots by at most one check interval.
+  double deadline_seconds = 0;
+
+  /// Optimal-search implementation (see OptimalBackend). Both backends
+  /// are exact; Portfolio races them and keeps the first finisher.
+  OptimalBackend backend = OptimalBackend::Bnb;
+
+  /// Cooperative cancellation (not owned; may be null). When the pointee
+  /// becomes true the search unwinds at its next budget check and reports
+  /// CurtailReason::Cancelled. This is how the portfolio stops the losing
+  /// racer: same stop-flag discipline the parallel search uses
+  /// internally, surfaced as a config knob.
+  const std::atomic<bool>* cancel = nullptr;
+
+  bool alpha_beta = true;             ///< rule [6]
+  bool equivalence_prune = true;      ///< rule [5c], paper form
+  bool strong_equivalence = false;    ///< automorphism classes (extension)
+  bool window_prune = true;           ///< forced-position rule from [5a]
+  bool lower_bound_prune = false;     ///< critical-path bound (extension)
+  bool seed_with_list_schedule = true;  ///< step [1] seed; else original order
+
+  /// State-dominance (transposition) cache: prune branches that reach an
+  /// already-visited scheduler state at equal-or-worse partial cost.
+  /// Cost-preserving (never prunes all optima) and compatible with every
+  /// other rule, including the register-pressure ceiling — live counts
+  /// are a function of the placed *set*, which is part of the state key.
+  bool dominance_cache = true;
+
+  /// Memory budget for the dominance cache, per search (16-byte entries;
+  /// the table starts small and grows on demand up to this bound).
+  std::size_t dominance_cache_bytes = 1u << 20;
+
+  /// Worker threads for the B&B search itself (1 = the classic sequential
+  /// algorithm, bit-identical to previous releases; 0 = one per hardware
+  /// thread). With N > 1 the search first expands a breadth-first frontier
+  /// of at least N x 8 disjoint subtree roots, then explores the subtrees
+  /// on a thread pool sharing (a) the incumbent — sound for alpha-beta
+  /// because the bound only ever tightens, (b) a sharded dominance cache,
+  /// and (c) the global lambda/deadline budgets. Exhaustive parallel runs
+  /// return the same best_nops as sequential ones (the schedule attaining
+  /// it may be a different optimum); curtailed runs may overshoot lambda
+  /// by up to N x kParallelOmegaFlushInterval omega calls.
+  std::size_t search_threads = 1;
+
+  /// Register-pressure ceiling (0 = unconstrained). When set, the search
+  /// only explores schedules whose simultaneously-live value count never
+  /// exceeds this, implementing Section 3.1's discipline the other way
+  /// round: instead of inserting spill code after the fact, the scheduler
+  /// is barred from creating schedules the register file cannot hold, so
+  /// allocation afterwards is guaranteed spill-free. The result is the
+  /// optimal schedule *among the feasible ones*; stats.feasible reports
+  /// whether any complete feasible schedule was found.
+  int max_live_registers = 0;
+};
+
+/// What every Scheduler::run returns: the schedule plus a fully-populated
+/// stats ledger (backends default the fields they do not track — see the
+/// SearchStats field docs for which counters are backend-shaped).
+struct ScheduleResult {
+  Schedule schedule;
+  SearchStats stats;
+};
+
+/// Abstract scheduling policy. Implementations are stateless with respect
+/// to the block (config is bound at construction), so one instance may
+/// schedule many blocks and may be shared across threads.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Short policy name for stats/metrics labels ("list", "bnb", "cp", ...).
+  virtual const char* name() const = 0;
+
+  /// True when the policy proves optimality on completed runs (the two
+  /// exact backends and the portfolio of them; the exhaustive oracle).
+  virtual bool claims_optimality() const { return false; }
+
+  /// Schedule one block. `initial` carries residual pipeline occupancy at
+  /// block entry (paper footnote 1).
+  virtual ScheduleResult run(const Machine& machine, const DepGraph& dag,
+                             const PipelineState& initial = {}) const = 0;
+};
+
+/// Factory over every SchedulerKind. SchedulerKind::Optimal dispatches on
+/// config.backend (Bnb | Cp | Portfolio).
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          const SearchConfig& config = {});
+
+/// Run the optimal backend selected by config.backend on one block —
+/// convenience for drivers that only ever run the optimal policy (corpus
+/// runner, register-limited compilation).
+ScheduleResult run_optimal_backend(const Machine& machine, const DepGraph& dag,
+                                   const SearchConfig& config = {},
+                                   const PipelineState& initial = {});
+
+// ---- Shared search internals (used by the backends; exposed here so the
+// ---- two independent solvers provably agree on these definitions) -------
+
+/// Partition tuples into equivalence classes for prune [5c].
+/// Paper rule: every null instruction — sigma-empty, rho-empty, AND
+/// dependent-free — shares one class (such instructions are fully
+/// timing-transparent, so their relative order is immaterial; any weaker
+/// condition breaks the position-swap argument in this timing model). Strong rule (extension): additionally, instructions with
+/// identical (pipeline set, predecessor set, immediate successor set) are
+/// DAG automorphisms of one another and share a class — this *subsumes*
+/// the paper rule's class rather than replacing it. The paper rule is
+/// cost-sound but NOT pressure-sound, so it is disabled when
+/// `pressure_constrained`. Strong classes are cost-sound as-is; under
+/// `pressure_constrained` they are refined by operand-ref multiset and
+/// result-ness so classmates are also liveness-interchangeable, keeping
+/// the skip sound under a register ceiling.
+std::vector<int> equivalence_classes(const Machine& machine,
+                                     const DepGraph& dag, bool strong,
+                                     bool pressure_constrained);
+
+/// Latency-weighted height below each tuple: a chain from t's issue to the
+/// final instruction's issue needs at least lh(t) further cycles, because
+/// each dependence edge forces max(1, latency(producer)) cycles between
+/// issues. Admissible (uses the minimum latency over unit alternatives).
+std::vector<int> latency_heights(const Machine& machine, const DepGraph& dag);
+
+/// Publish one finished search's SearchStats into the metrics registry.
+/// The hot loops keep mutating plain local counters (zero added cost per
+/// node); the registry receives the totals in one batch here, so registry
+/// sums are exactly the sums of the per-search stats — a property the
+/// test suite asserts. Shared by every optimal backend.
+void flush_search_metrics(const SearchStats& stats);
+
+}  // namespace pipesched

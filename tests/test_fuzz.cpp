@@ -174,6 +174,70 @@ TEST(RandomMachineFuzz, CachedSchedulesValidateOnSimulator) {
   EXPECT_GT(heterogeneous_seen, 0);
 }
 
+TEST(BackendFuzz, OptimalBackendsAgreeThroughSchedulerInterface) {
+  // All three optimal backends behind the common Scheduler interface,
+  // over random machines, including pressure-constrained and infeasible
+  // instances: every backend must report the same optimum — or all must
+  // prove infeasibility (best_nops == -1) — and every feasible schedule
+  // must validate on the simulator.
+  Rng rng(0xBACE2D);
+  int infeasible_seen = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Machine machine = random_machine(rng);
+    GeneratorParams params;
+    params.statements = 2 + static_cast<int>(rng.next_below(8));
+    params.variables = 3 + static_cast<int>(rng.next_below(5));
+    params.constants = 1 + static_cast<int>(rng.next_below(4));
+    params.seed = rng.next_u64();
+    params.optimize = rng.next_bool(0.7);
+    const BasicBlock block = generate_block(params);
+    if (block.empty()) continue;
+    const DepGraph dag(block);
+
+    SearchConfig config;
+    config.curtail_lambda = 2'000'000;
+    if (rng.next_bool(0.4)) {
+      config.max_live_registers = 3 + static_cast<int>(rng.next_below(3));
+    }
+
+    bool have_reference = false;
+    bool ref_feasible = true;
+    int ref_nops = 0;
+    for (OptimalBackend backend :
+         {OptimalBackend::Bnb, OptimalBackend::Cp,
+          OptimalBackend::Portfolio}) {
+      SearchConfig c = config;
+      c.backend = backend;
+      SearchStats stats;
+      const Schedule schedule =
+          run_scheduler(SchedulerKind::Optimal, machine, dag, c, &stats);
+      ASSERT_TRUE(stats.completed)
+          << optimal_backend_name(backend) << " trial " << trial;
+      if (!have_reference) {
+        have_reference = true;
+        ref_feasible = stats.feasible;
+        ref_nops = stats.best_nops;
+        if (!ref_feasible) ++infeasible_seen;
+      }
+      ASSERT_EQ(stats.feasible, ref_feasible)
+          << optimal_backend_name(backend) << " trial " << trial
+          << " machine:\n" << machine.to_string() << block.to_string();
+      ASSERT_EQ(stats.best_nops, ref_nops)
+          << optimal_backend_name(backend) << " trial " << trial
+          << " machine:\n" << machine.to_string() << block.to_string();
+      if (!stats.feasible) continue;
+      ASSERT_TRUE(dag.is_legal_order(schedule.order))
+          << optimal_backend_name(backend);
+      ASSERT_EQ(schedule.total_nops(), stats.best_nops)
+          << optimal_backend_name(backend);
+      const SimResult padded = validate_padded(machine, dag, schedule);
+      ASSERT_TRUE(padded.ok)
+          << optimal_backend_name(backend) << ": " << padded.error;
+    }
+  }
+  EXPECT_GT(infeasible_seen, 0);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, EndToEndFuzz,
     testing::ValuesIn([] {

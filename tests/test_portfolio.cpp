@@ -1,0 +1,191 @@
+// Portfolio backend: race the branch-and-bound and CP solvers per block,
+// first completed racer wins and cancels the other. These tests pin the
+// protocol's observable guarantees:
+//   * the winner's answer equals what each backend finds standalone
+//     (both claim optimality, so a deviation is a racing bug);
+//   * cancellation drains cleanly — no tasks left in any pool queue
+//     (asserted through the ps_thread_pool_queue_depth gauge);
+//   * the reported cost is deterministic under races: whichever racer
+//     wins at any B&B thread count, the NOP count never changes;
+//   * lambda/deadline budgets propagate to BOTH racers, so a curtailed
+//     portfolio run reports the budget's curtail reason, not Cancelled.
+#include <gtest/gtest.h>
+
+#include "ir/dag.hpp"
+#include "sched/cp_scheduler.hpp"
+#include "sched/optimal_scheduler.hpp"
+#include "sched/portfolio_scheduler.hpp"
+#include "sched/scheduler.hpp"
+#include "synth/generator.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace pipesched {
+namespace {
+
+BasicBlock sample_block(std::uint64_t seed, int statements = 8) {
+  GeneratorParams params;
+  params.statements = statements;
+  params.variables = 5;
+  params.constants = 3;
+  params.seed = seed;
+  return generate_block(params);
+}
+
+TEST(Portfolio, WinnerMatchesStandaloneBackends) {
+  Rng rng(0x90F0);
+  int nonempty = 0;
+  for (std::uint64_t seed = 1; nonempty < 25; ++seed) {
+    ASSERT_LT(seed, 200u);
+    const BasicBlock block =
+        sample_block(rng.next_u64(), 3 + static_cast<int>(rng.next_below(8)));
+    if (block.empty()) continue;
+    ++nonempty;
+    const DepGraph dag(block);
+    const Machine machine = Machine::paper_simulation();
+
+    SearchConfig config;
+    const OptimalResult bnb = optimal_schedule(machine, dag, config);
+    const ScheduleResult cp = cp_schedule(machine, dag, config);
+    const ScheduleResult portfolio = portfolio_schedule(machine, dag, config);
+
+    ASSERT_EQ(bnb.stats.best_nops, cp.stats.best_nops);
+    EXPECT_EQ(portfolio.stats.best_nops, bnb.stats.best_nops);
+    EXPECT_EQ(portfolio.schedule.total_nops(), bnb.stats.best_nops);
+    EXPECT_TRUE(portfolio.stats.completed);
+    EXPECT_NE(portfolio.stats.portfolio_winner, PortfolioWinner::None);
+    EXPECT_GT(portfolio.stats.seconds, 0.0);
+  }
+}
+
+TEST(Portfolio, SchedulerInterfaceAndMetricsWinCounter) {
+  metrics_enable();
+  metrics_reset();
+  const BasicBlock block = sample_block(7);
+  ASSERT_FALSE(block.empty());
+  const DepGraph dag(block);
+  const Machine machine = Machine::paper_simulation();
+
+  SearchConfig config;
+  config.backend = OptimalBackend::Portfolio;
+  const ScheduleResult via_factory =
+      make_scheduler(SchedulerKind::Optimal, config)->run(machine, dag);
+  const ScheduleResult direct = run_optimal_backend(machine, dag, config);
+  EXPECT_EQ(via_factory.stats.best_nops, direct.stats.best_nops);
+  EXPECT_NE(via_factory.stats.portfolio_winner, PortfolioWinner::None);
+
+  const MetricsSnapshot snapshot = metrics_snapshot();
+  const double wins =
+      snapshot.value_or_zero("ps_portfolio_wins", {{"backend", "bnb"}}) +
+      snapshot.value_or_zero("ps_portfolio_wins", {{"backend", "cp"}});
+  EXPECT_EQ(wins, 2.0);  // one win recorded per portfolio run
+  metrics_disable();
+}
+
+TEST(Portfolio, CancellationLeavesNoQueuedTasks) {
+  metrics_enable();
+  metrics_reset();
+  Rng rng(0xCA9CE1);
+  // Mixed sizes so both fast and slow losers get cancelled mid-search.
+  for (int round = 0; round < 30; ++round) {
+    const BasicBlock block = sample_block(
+        rng.next_u64(), 2 + static_cast<int>(rng.next_below(10)));
+    if (block.empty()) continue;
+    const DepGraph dag(block);
+    const ScheduleResult result =
+        portfolio_schedule(Machine::paper_simulation(), dag, {});
+    EXPECT_TRUE(result.stats.completed);
+    // The portfolio pool is destroyed before portfolio_schedule returns:
+    // a nonzero queue depth here means a cancelled racer's task leaked.
+    EXPECT_EQ(metrics_snapshot().value_or_zero("ps_thread_pool_queue_depth"),
+              0.0)
+        << "round " << round;
+  }
+  metrics_disable();
+}
+
+TEST(Portfolio, DeterministicCostUnderRacesAtEveryThreadCount) {
+  const BasicBlock block = sample_block(11, 10);
+  ASSERT_FALSE(block.empty());
+  const DepGraph dag(block);
+  const Machine machine = Machine::paper_simulation();
+
+  const int reference =
+      optimal_schedule(machine, dag, {}).stats.best_nops;
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    SearchConfig config;
+    config.search_threads = threads;  // applies to the B&B racer
+    for (int repeat = 0; repeat < 8; ++repeat) {
+      const ScheduleResult result =
+          portfolio_schedule(machine, dag, config);
+      ASSERT_TRUE(result.stats.completed);
+      // Which racer wins is timing noise; the cost never is.
+      ASSERT_EQ(result.stats.best_nops, reference)
+          << "threads=" << threads << " repeat=" << repeat << " winner="
+          << portfolio_winner_name(result.stats.portfolio_winner);
+    }
+  }
+}
+
+TEST(Portfolio, LambdaBudgetPropagatesToBothRacers) {
+  const BasicBlock block = sample_block(3, 12);
+  ASSERT_FALSE(block.empty());
+  const DepGraph dag(block);
+
+  SearchConfig config;
+  config.curtail_lambda = 1;  // both racers must stop almost immediately
+  const ScheduleResult result =
+      portfolio_schedule(Machine::paper_simulation(), dag, config);
+  EXPECT_FALSE(result.stats.completed);
+  // Both racers tripped their own budget; neither completed, so neither
+  // cancelled the other — the winner's reason must be the budget's.
+  EXPECT_EQ(result.stats.curtail_reason, CurtailReason::Lambda);
+  // The curtailed incumbent is the seed schedule, still a real schedule.
+  EXPECT_EQ(result.schedule.total_nops(), result.stats.best_nops);
+  EXPECT_EQ(result.stats.best_nops, result.stats.initial_nops);
+}
+
+TEST(Portfolio, DeadlineBudgetPropagatesToBothRacers) {
+  const BasicBlock block = sample_block(5, 36);
+  ASSERT_FALSE(block.empty());
+  const DepGraph dag(block);
+
+  SearchConfig config;
+  // Already expired at the start — but the expiry is only noticed at the
+  // amortized slow tick (every 1024 nodes), so the block must be large
+  // enough that neither racer finishes its search inside one tick.
+  config.deadline_seconds = 1e-9;
+  config.curtail_lambda = 0;  // deadline only — no lambda interference
+  const ScheduleResult result =
+      portfolio_schedule(Machine::paper_simulation(), dag, config);
+  EXPECT_FALSE(result.stats.completed);
+  EXPECT_EQ(result.stats.curtail_reason, CurtailReason::Deadline);
+  EXPECT_EQ(result.schedule.total_nops(), result.stats.best_nops);
+}
+
+TEST(Portfolio, InfeasiblePressureCeilingAgreedByBothRacers) {
+  // A ceiling below any schedulable pressure: both racers prove
+  // infeasibility, and the portfolio reports it like the standalones do.
+  Rng rng(0x1FEA51B1E);
+  bool saw_infeasible = false;
+  for (int round = 0; round < 40 && !saw_infeasible; ++round) {
+    const BasicBlock block = sample_block(
+        rng.next_u64(), 4 + static_cast<int>(rng.next_below(8)));
+    if (block.empty()) continue;
+    const DepGraph dag(block);
+    SearchConfig config;
+    config.max_live_registers = 3;
+    const Machine machine = Machine::paper_simulation();
+    const OptimalResult bnb = optimal_schedule(machine, dag, config);
+    const ScheduleResult portfolio =
+        portfolio_schedule(machine, dag, config);
+    ASSERT_EQ(portfolio.stats.feasible, bnb.stats.feasible);
+    ASSERT_EQ(portfolio.stats.best_nops, bnb.stats.best_nops);
+    if (!bnb.stats.feasible) saw_infeasible = true;
+  }
+  EXPECT_TRUE(saw_infeasible);
+}
+
+}  // namespace
+}  // namespace pipesched

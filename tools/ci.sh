@@ -40,11 +40,13 @@ cmake -B build-ci-tsan -S . \
   -DPIPESCHED_SANITIZE=thread
 echo "==== building build-ci-tsan (concurrency tests) ===="
 cmake --build build-ci-tsan -j "${jobs}" \
-  --target test_parallel_search test_util
+  --target test_parallel_search test_util test_portfolio
 echo "==== TSan: parallel frontier-split search ===="
 ./build-ci-tsan/tests/test_parallel_search
 echo "==== TSan: thread pool ===="
 ./build-ci-tsan/tests/test_util --gtest_filter='ThreadPool.*'
+echo "==== TSan: portfolio racing (stop-flag cancellation) ===="
+./build-ci-tsan/tests/test_portfolio
 
 # Traced corpus smoke, in BOTH configurations: a small corpus run with
 # PS_TRACE must produce well-formed Chrome trace-event JSON (validated
@@ -154,6 +156,21 @@ gate_dir="$(mktemp -d)"
   > /dev/null)
 ./build-ci-release/tools/bench_diff --rel-tol 1.0 \
   BENCH_corpus.json "${gate_dir}/BENCH_corpus.json"
+rm -rf "${gate_dir}"
+
+# Portfolio bench gate: same policy for the three-sweep racing bench's
+# roll-up. Exact fields (block counts, optima, total NOPs) are
+# deterministic for the portfolio too — only the win split is
+# timing-dependent, and bench_diff classifies it as informational.
+echo "==== portfolio bench gate (build-ci-release) ===="
+./build-ci-release/tools/bench_diff \
+  BENCH_corpus_portfolio.json BENCH_corpus_portfolio.json
+gate_dir="$(mktemp -d)"
+(cd "${gate_dir}" && \
+  PS_CORPUS_RUNS=300 "${OLDPWD}/build-ci-release/bench/bench_portfolio" \
+  > /dev/null)
+./build-ci-release/tools/bench_diff --rel-tol 1.0 \
+  BENCH_corpus_portfolio.json "${gate_dir}/BENCH_corpus_portfolio.json"
 rm -rf "${gate_dir}"
 
 # Corpus smoke under the sanitizers: the wall-clock deadline and the

@@ -52,6 +52,10 @@ machine:
 scheduling:
   --scheduler <name>    original | list | greedy | optimal (default) |
                         exhaustive
+  --backend <name>      optimal-scheduler backend: bnb (default,
+                        branch-and-bound) | cp (constraint-propagation
+                        over issue slots) | portfolio (race both per
+                        block, first finisher wins, loser cancelled)
   --lambda <N>          curtail point (0 = search to exhaustion;
                         default 50000)
   --deadline <secs>     wall-clock budget per search (0 = none); expiry
@@ -106,6 +110,7 @@ struct Args {
   std::string machine_preset = "paper-simulation";
   std::string machine_file;
   SchedulerKind scheduler = SchedulerKind::Optimal;
+  OptimalBackend backend = OptimalBackend::Bnb;
   std::uint64_t lambda = 50000;
   double deadline = 0;
   std::size_t search_threads = 1;
@@ -228,6 +233,10 @@ Args parse_args(int argc, char** argv) {
       args.machine_file = next();
     } else if (arg == "--scheduler") {
       args.scheduler = parse_scheduler(next());
+    } else if (arg == "--backend") {
+      const std::string name = next();
+      PS_CHECK(parse_optimal_backend(name, &args.backend),
+               "unknown backend: " << name << " (bnb | cp | portfolio)");
     } else if (arg == "--lambda") {
       args.lambda = parse_u64_flag(arg, next());
     } else if (arg == "--deadline") {
@@ -301,6 +310,10 @@ void print_stats(const SearchStats& stats) {
     std::cerr << "; search: INFEASIBLE — no schedule fits the register "
                  "ceiling; final NOPs is -1 (not a real optimum)\n";
   }
+  if (stats.portfolio_winner != PortfolioWinner::None) {
+    std::cerr << "; portfolio: won by "
+              << portfolio_winner_name(stats.portfolio_winner) << "\n";
+  }
   if (stats.frontier_subtrees > 0) {
     std::cerr << "; parallel: frontier split into " << stats.frontier_subtrees
               << " subtrees\n";
@@ -362,6 +375,7 @@ int compile_one_block(BasicBlock block, const Machine& machine,
   CompileOptions options;
   options.machine = machine;
   options.scheduler = args.scheduler;
+  options.search.backend = args.backend;
   options.search.curtail_lambda = args.lambda;
   options.search.deadline_seconds = args.deadline;
   options.search.dominance_cache = args.dominance_cache;
@@ -494,6 +508,7 @@ int run_compile(const Args& args) {
   options.progress = progress.get();
   options.block.machine = machine;
   options.block.scheduler = args.scheduler;
+  options.block.search.backend = args.backend;
   options.block.search.curtail_lambda = args.lambda;
   options.block.search.deadline_seconds = args.deadline;
   options.block.search.dominance_cache = args.dominance_cache;
