@@ -1,0 +1,153 @@
+// Persistent result cache: cold vs warm corpus runs.
+//
+// Workload: a duplicated synthetic corpus (PS_CORPUS_RUNS/5 distinct
+// blocks x 5 copies), scheduled three times:
+//   no cache - the baseline every copy pays the full search for;
+//   cold     - the cache file starts empty; every distinct block searches
+//              once and stores its proven-optimal schedule, later copies
+//              may already hit within the run;
+//   warm     - a second full run over the same corpus and the same file;
+//              every completed-and-stored block must now be served from
+//              the cache without searching (curtailed blocks are never
+//              stored, so they re-search — that is the soundness policy,
+//              not a bug).
+//
+// The bench asserts the cached runs return exactly the optima the fresh
+// run found (per-block final_nops equality), prints the warm hit rate and
+// the cold/warm speedup, and writes the warm roll-up to
+// BENCH_corpus_cache.json — every field of which is deterministic except
+// wall time, so bench_diff can gate it like BENCH_corpus.json.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace pipesched;
+  bench::banner("Persistent Result Cache: Cold vs Warm Corpus Runs",
+                "the Table 7 protocol, re-run");
+
+  constexpr int kCopies = 5;
+  const int unique_runs = std::max(1, bench::corpus_runs() / kCopies);
+  const char* cache_path = "bench_result_cache.pscache";
+  std::remove(cache_path);  // the first run must be genuinely cold
+
+  CorpusRunOptions options = bench::paper_run_options();
+  options.search.result_cache_path = cache_path;
+
+  CorpusSpec spec;
+  spec.total_runs = unique_runs;
+  std::vector<GeneratorParams> params =
+      duplicated_corpus_params(spec, kCopies);
+  // Bias toward the corpus's larger blocks: re-searching a 5-instruction
+  // block costs about as much as generating it, so small blocks measure
+  // the generator, not the cache. The cache's target regime is blocks
+  // whose searches are expensive enough to be worth memoizing.
+  for (GeneratorParams& p : params) p.statements += 16;
+  std::cout << "corpus: " << unique_runs << " distinct blocks x " << kCopies
+            << " copies = " << params.size() << " runs, machine "
+            << options.machine.name() << ", cache file " << cache_path
+            << "\n\n";
+
+  // Baseline: the same duplicated corpus with no cache at all — every
+  // copy pays the full search. This is the run the cache exists to avoid.
+  CorpusRunOptions nocache_options = options;
+  nocache_options.search.result_cache_path.clear();
+  Timer nocache_wall;
+  const std::vector<RunRecord> nocache = run_corpus(params, nocache_options);
+  const double nocache_seconds = nocache_wall.seconds();
+
+  Timer cold_wall;
+  const std::vector<RunRecord> cold = run_corpus(params, options);
+  const double cold_seconds = cold_wall.seconds();
+
+  Timer warm_wall;
+  const std::vector<RunRecord> warm = run_corpus(params, options);
+  const double warm_seconds = warm_wall.seconds();
+
+  // Soundness sweep: a cache hit must reproduce the fresh run's optimum
+  // bit-for-bit. Any disagreement is a cache bug.
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    if (!nocache[i].error.empty() || !cold[i].error.empty() ||
+        !warm[i].error.empty()) {
+      continue;
+    }
+    if (cold[i].final_nops != nocache[i].final_nops ||
+        warm[i].final_nops != nocache[i].final_nops) {
+      ++mismatches;
+      std::cerr << "MISMATCH block " << i << ": fresh final NOPs "
+                << nocache[i].final_nops << ", cold " << cold[i].final_nops
+                << ", warm " << warm[i].final_nops << "\n";
+    }
+  }
+
+  // Wall time covers the whole harness (generate + optimize + DAG build
+  // + schedule); the cache can only remove the scheduling share, so the
+  // headline speedup is measured on the summed per-block scheduling
+  // seconds (a cache hit's "scheduling" is just the verified lookup).
+  const auto scheduling_seconds = [](const std::vector<RunRecord>& rs) {
+    double total = 0;
+    for (const RunRecord& r : rs) {
+      if (r.error.empty()) total += r.seconds;
+    }
+    return total;
+  };
+  const double nocache_sched = scheduling_seconds(nocache);
+  const double cold_sched = scheduling_seconds(cold);
+  const double warm_sched = scheduling_seconds(warm);
+
+  const CorpusSummary nocache_summary = summarize_corpus(nocache);
+  const CorpusSummary cold_summary = summarize_corpus(cold);
+  const CorpusSummary warm_summary = summarize_corpus(warm);
+  auto report = [&](const char* name, const CorpusSummary& s, double wall,
+                    double sched) {
+    std::cout << "[" << name << "]\n"
+              << "  wall time: " << compact_double(wall, 3) << "s ("
+              << compact_double(static_cast<double>(params.size()) / wall, 4)
+              << " blocks/second), scheduling time "
+              << compact_double(sched * 1e3, 4) << "ms\n"
+              << "  result cache hits: " << s.total.result_cache_hits << "/"
+              << s.total.runs << " ("
+              << compact_double(s.total.result_cache_hit_percent, 4)
+              << "%)\n";
+  };
+  report("no cache", nocache_summary, nocache_seconds, nocache_sched);
+  report("cold", cold_summary, cold_seconds, cold_sched);
+  report("warm", warm_summary, warm_seconds, warm_sched);
+  std::cout << "  scheduling speedup (no-cache / warm): "
+            << compact_double(nocache_sched / warm_sched, 3) << "x\n"
+            << "  scheduling speedup (cold / warm): "
+            << compact_double(cold_sched / warm_sched, 3) << "x\n"
+            << "  wall speedup (no-cache / warm): "
+            << compact_double(nocache_seconds / warm_seconds, 3) << "x\n"
+            << "  optimum mismatches vs fresh: " << mismatches << "\n\n";
+
+  CsvWriter csv("result_cache.csv");
+  csv.row({"variant", "wall_seconds", "scheduling_seconds", "blocks",
+           "result_cache_hits", "hit_percent"});
+  csv.row_of("nocache", nocache_seconds, nocache_sched,
+             nocache_summary.total.runs,
+             nocache_summary.total.result_cache_hits,
+             nocache_summary.total.result_cache_hit_percent);
+  csv.row_of("cold", cold_seconds, cold_sched, cold_summary.total.runs,
+             cold_summary.total.result_cache_hits,
+             cold_summary.total.result_cache_hit_percent);
+  csv.row_of("warm", warm_seconds, warm_sched, warm_summary.total.runs,
+             warm_summary.total.result_cache_hits,
+             warm_summary.total.result_cache_hit_percent);
+
+  CorpusBenchMeta meta;
+  meta.machine = options.machine.name();
+  meta.curtail_lambda = options.search.curtail_lambda;
+  meta.deadline_seconds = options.search.deadline_seconds;
+  meta.total_wall_seconds = warm_seconds;
+  write_corpus_bench_json(warm_summary, warm, meta,
+                          "BENCH_corpus_cache.json");
+  std::cout << "CSV written to result_cache.csv; warm roll-up in "
+               "BENCH_corpus_cache.json\n";
+  return mismatches == 0 ? 0 : 1;
+}

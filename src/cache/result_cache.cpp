@@ -1,0 +1,488 @@
+#include "cache/result_cache.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <type_traits>
+#include <utility>
+
+#include "ir/opcode.hpp"
+#include "sched/scheduler.hpp"
+#include "util/check.hpp"
+#include "util/metrics.hpp"
+
+namespace pipesched {
+
+namespace {
+
+/// On-disk layout. Header: 8-byte magic + u32 format version + u32
+/// reserved (zero). Records: [u32 canonical_len][u32 payload_len]
+/// [u32 crc32(canonical || payload)][canonical][payload], appended
+/// whole and fsync'd. All integers little-endian.
+constexpr char kMagic[8] = {'P', 'S', 'R', 'C', 'A', 'C', 'H', 'E'};
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kFrameBytes = 12;
+
+/// Upper bound on either section of a record; anything larger in a frame
+/// means the frame bytes themselves are garbage (no way to resync an
+/// append log past a corrupt length, so loading stops there).
+constexpr std::uint32_t kMaxSectionBytes = 1u << 28;
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked little-endian reader for payload decoding: any overrun
+/// flags failure instead of reading garbage, so a corrupt payload that
+/// passed its CRC by chance still cannot produce a bogus schedule.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint32_t u32() {
+    if (pos_ + 4 > size_) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  bool ok() const { return ok_ && pos_ == size_; }
+  bool in_bounds() const { return ok_; }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::uint32_t read_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+std::uint32_t crc32(const char* data, std::size_t size,
+                    std::uint32_t seed = 0) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(data[i])) & 0xff] ^
+          (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::string encode_payload(const CachedSchedule& payload) {
+  std::string out;
+  put_i32(out, payload.initial_nops);
+  put_i32(out, payload.best_nops);
+  const Schedule& s = payload.schedule;
+  put_u32(out, static_cast<std::uint32_t>(s.order.size()));
+  for (TupleIndex t : s.order) put_i32(out, t);
+  put_u32(out, static_cast<std::uint32_t>(s.nops.size()));
+  for (int v : s.nops) put_i32(out, v);
+  put_u32(out, static_cast<std::uint32_t>(s.issue_cycle.size()));
+  for (int v : s.issue_cycle) put_i32(out, v);
+  put_u32(out, static_cast<std::uint32_t>(s.unit.size()));
+  for (PipelineId v : s.unit) put_i32(out, v);
+  return out;
+}
+
+bool decode_payload(const char* data, std::size_t size,
+                    CachedSchedule* out) {
+  Reader r(data, size);
+  out->initial_nops = r.i32();
+  out->best_nops = r.i32();
+  const auto read_vec = [&r](auto& vec) {
+    const std::uint32_t n = r.u32();
+    if (!r.in_bounds() || n > kMaxSectionBytes / 4) return false;
+    vec.clear();
+    vec.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      vec.push_back(
+          static_cast<typename std::decay_t<decltype(vec)>::value_type>(
+              r.i32()));
+    }
+    return r.in_bounds();
+  };
+  if (!read_vec(out->schedule.order)) return false;
+  if (!read_vec(out->schedule.nops)) return false;
+  if (!read_vec(out->schedule.issue_cycle)) return false;
+  if (!read_vec(out->schedule.unit)) return false;
+  return r.ok();
+}
+
+Counter& rc_counter(const char* event) {
+  static const char* kHelp = "Persistent result-cache traffic, by event";
+  return metrics_counter("ps_result_cache_events_total", {{"event", event}},
+                         kHelp);
+}
+
+void count_metric(const char* event) {
+  if (!metrics_enabled()) return;
+  rc_counter(event).increment();
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string path) : path_(std::move(path)) {
+  PS_CHECK(!path_.empty(), "result cache: path must not be empty");
+  load_log();
+
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  PS_CHECK(fd_ >= 0, "result cache: cannot open '"
+                         << path_ << "' for append: " << std::strerror(errno));
+  // Brand-new (or zero-length) log: stamp the header before any record.
+  struct stat st {};
+  if (::fstat(fd_, &st) == 0 && st.st_size == 0) {
+    std::string header(kMagic, sizeof(kMagic));
+    put_u32(header, kFormatVersion);
+    put_u32(header, 0);
+    const char* p = header.data();
+    std::size_t left = header.size();
+    while (left > 0) {
+      const ssize_t wrote = ::write(fd_, p, left);
+      PS_CHECK(wrote > 0, "result cache: cannot write header to '"
+                              << path_ << "': " << std::strerror(errno));
+      p += wrote;
+      left -= static_cast<std::size_t>(wrote);
+    }
+    ::fsync(fd_);
+  }
+}
+
+ResultCache::~ResultCache() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::shared_ptr<ResultCache> ResultCache::open_shared(
+    const std::string& path) {
+  static std::mutex registry_mutex;
+  static std::unordered_map<std::string, std::shared_ptr<ResultCache>>
+      registry;
+  std::lock_guard lock(registry_mutex);
+  auto it = registry.find(path);
+  if (it != registry.end()) return it->second;
+  auto cache = std::make_shared<ResultCache>(path);
+  registry.emplace(path, cache);
+  return cache;
+}
+
+std::string ResultCache::canonical_form(const Machine& machine,
+                                        const DepGraph& dag,
+                                        const SearchConfig& config,
+                                        const PipelineState& initial) {
+  std::string out;
+  out.reserve(64 + dag.size() * 32);
+  // Canonical-form version, bumped whenever the serialization below (or
+  // the meaning of any serialized field) changes, so stale entries from
+  // an older scheme can never verify against a new query.
+  out.append("PSCF");
+  put_u8(out, 1);
+
+  // Machine semantics (names excluded — they do not affect schedules):
+  // per-pipeline timing plus the opcode -> pipeline-set mapping, which
+  // together determine unit groups, latencies, and enqueue conflicts.
+  put_u32(out, static_cast<std::uint32_t>(machine.pipeline_count()));
+  for (std::size_t u = 0; u < machine.pipeline_count(); ++u) {
+    const PipelineDesc& p = machine.pipeline(static_cast<PipelineId>(u));
+    put_i32(out, p.latency);
+    put_i32(out, p.enqueue);
+  }
+  put_u32(out, static_cast<std::uint32_t>(kOpcodeCount));
+  for (int op = 0; op < kOpcodeCount; ++op) {
+    const auto& units = machine.pipelines_for(static_cast<Opcode>(op));
+    put_u32(out, static_cast<std::uint32_t>(units.size()));
+    for (PipelineId id : units) put_i32(out, id);
+  }
+
+  // The block's tuples (full operand identity: refs drive both deps and
+  // register pressure) and the dependence edges. Edges are serialized
+  // explicitly rather than re-derived because DepGraph supports extra
+  // ordering constraints beyond the block's own dependences.
+  put_u32(out, static_cast<std::uint32_t>(dag.size()));
+  for (std::size_t i = 0; i < dag.size(); ++i) {
+    const Tuple& t = dag.block().tuple(static_cast<TupleIndex>(i));
+    put_u8(out, static_cast<std::uint8_t>(t.op));
+    for (const Operand* o : {&t.a, &t.b}) {
+      put_u8(out, static_cast<std::uint8_t>(o->kind));
+      put_i32(out, o->ref);
+      put_i32(out, o->var);
+      put_i64(out, o->imm);
+    }
+  }
+  put_u32(out, static_cast<std::uint32_t>(dag.edges().size()));
+  for (const DepEdge& e : dag.edges()) {
+    put_i32(out, e.from);
+    put_i32(out, e.to);
+    put_u8(out, static_cast<std::uint8_t>(e.kind));
+  }
+
+  // The only SearchConfig fields a PROVEN result depends on: the pressure
+  // ceiling changes which schedules are feasible at all, and the seed
+  // choice changes the reported initial_nops (a bench_diff exact field).
+  // Budgets, backend choice, and pruning toggles are excluded on purpose:
+  // completed searches agree on the optimum across all of them.
+  put_i32(out, config.max_live_registers);
+  put_u8(out, config.seed_with_list_schedule ? 1 : 0);
+
+  // Incoming pipeline residue (block-splitting schedules sub-blocks
+  // against a non-drained entry state).
+  put_u32(out, static_cast<std::uint32_t>(initial.unit_last_issue.size()));
+  for (int v : initial.unit_last_issue) put_i32(out, v);
+  return out;
+}
+
+std::uint64_t ResultCache::hash_of(const std::string& canonical) {
+  // FNV-1a over the canonical bytes; used only to pick buckets. Equality
+  // decisions always byte-compare the canonical form.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : canonical) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool ResultCache::lookup(const std::string& canonical, CachedSchedule* out) {
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  count_metric("probe");
+  const std::uint64_t hash = hash_of(canonical);
+  Shard& shard = shard_for(hash);
+  std::uint64_t rejects = 0;
+  bool hit = false;
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.buckets.find(hash);
+    if (it != shard.buckets.end()) {
+      for (const Entry& e : it->second) {
+        // The verified part of "verified lookup": a matching hash is only
+        // a candidate. Byte-identical canonical forms are required, so a
+        // collision degrades to a miss, never a wrong schedule.
+        if (e.canonical == canonical) {
+          *out = e.payload;
+          hit = true;
+          break;
+        }
+        ++rejects;
+      }
+    }
+  }
+  if (rejects > 0) {
+    verified_rejects_.fetch_add(rejects, std::memory_order_relaxed);
+    if (metrics_enabled()) rc_counter("verified_reject").add(rejects);
+  }
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    count_metric("hit");
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    count_metric("miss");
+  }
+  return hit;
+}
+
+bool ResultCache::insert_memory(std::uint64_t hash,
+                                const std::string& canonical,
+                                const CachedSchedule& payload) {
+  Shard& shard = shard_for(hash);
+  std::lock_guard lock(shard.mutex);
+  std::vector<Entry>& bucket = shard.buckets[hash];
+  for (const Entry& e : bucket) {
+    if (e.canonical == canonical) return false;
+  }
+  bucket.push_back(Entry{canonical, payload});
+  return true;
+}
+
+void ResultCache::store(const std::string& canonical,
+                        const CachedSchedule& result) {
+  const std::uint64_t hash = hash_of(canonical);
+  if (!insert_memory(hash, canonical, result)) return;
+  append_record(canonical, result);
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  count_metric("store");
+}
+
+void ResultCache::append_record(const std::string& canonical,
+                                const CachedSchedule& payload) {
+  const std::string body = encode_payload(payload);
+  std::string record;
+  record.reserve(kFrameBytes + canonical.size() + body.size());
+  put_u32(record, static_cast<std::uint32_t>(canonical.size()));
+  put_u32(record, static_cast<std::uint32_t>(body.size()));
+  const std::uint32_t crc =
+      crc32(body.data(), body.size(),
+            crc32(canonical.data(), canonical.size()));
+  put_u32(record, crc);
+  record += canonical;
+  record += body;
+
+  // One writer at a time; the whole record goes out in order and is
+  // fsync'd before the store returns, so a crash leaves at worst one
+  // truncated tail record — which the next load skips with a counted
+  // warning.
+  std::lock_guard lock(file_mutex_);
+  const char* p = record.data();
+  std::size_t left = record.size();
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd_, p, left);
+    PS_CHECK(wrote > 0, "result cache: append to '"
+                            << path_ << "' failed: " << std::strerror(errno));
+    p += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  ::fsync(fd_);
+}
+
+void ResultCache::load_log() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;  // no file yet: the constructor will create it
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (data.empty()) return;  // touched-but-empty file: treat as new
+
+  PS_CHECK(data.size() >= kHeaderBytes,
+           "result cache: '" << path_ << "' is too short to carry a header");
+  PS_CHECK(std::memcmp(data.data(), kMagic, sizeof(kMagic)) == 0,
+           "result cache: '" << path_ << "' is not a result-cache file");
+  const std::uint32_t version = read_u32(data.data() + 8);
+  PS_CHECK(version == kFormatVersion,
+           "result cache: '" << path_ << "' has format version " << version
+                             << ", this build expects " << kFormatVersion);
+
+  std::size_t pos = kHeaderBytes;
+  std::uint64_t errors = 0;
+  std::uint64_t loaded = 0;
+  while (pos < data.size()) {
+    if (data.size() - pos < kFrameBytes) {
+      ++errors;  // truncated frame (crash mid-append)
+      break;
+    }
+    const std::uint32_t canonical_len = read_u32(data.data() + pos);
+    const std::uint32_t payload_len = read_u32(data.data() + pos + 4);
+    const std::uint32_t crc_stored = read_u32(data.data() + pos + 8);
+    if (canonical_len > kMaxSectionBytes || payload_len > kMaxSectionBytes) {
+      ++errors;  // garbage lengths: cannot resync an append log past here
+      break;
+    }
+    const std::size_t body_len =
+        static_cast<std::size_t>(canonical_len) + payload_len;
+    if (data.size() - pos - kFrameBytes < body_len) {
+      ++errors;  // truncated tail record
+      break;
+    }
+    const char* canonical_ptr = data.data() + pos + kFrameBytes;
+    const char* payload_ptr = canonical_ptr + canonical_len;
+    pos += kFrameBytes + body_len;
+
+    const std::uint32_t crc_actual =
+        crc32(payload_ptr, payload_len, crc32(canonical_ptr, canonical_len));
+    if (crc_actual != crc_stored) {
+      ++errors;  // bit rot within a framed record: skip just this one
+      continue;
+    }
+    CachedSchedule payload;
+    if (!decode_payload(payload_ptr, payload_len, &payload)) {
+      ++errors;
+      continue;
+    }
+    std::string canonical(canonical_ptr, canonical_len);
+    if (insert_memory(hash_of(canonical), canonical, payload)) ++loaded;
+  }
+
+  entries_loaded_.store(loaded, std::memory_order_relaxed);
+  if (errors > 0) {
+    load_errors_.store(errors, std::memory_order_relaxed);
+    if (metrics_enabled()) rc_counter("load_error").add(errors);
+    std::fprintf(stderr,
+                 "result cache: skipped %llu corrupt or truncated "
+                 "record(s) in '%s'\n",
+                 static_cast<unsigned long long>(errors), path_.c_str());
+  }
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats s;
+  s.probes = probes_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.verified_rejects = verified_rejects_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  s.load_errors = load_errors_.load(std::memory_order_relaxed);
+  s.entries_loaded = entries_loaded_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t ResultCache::entry_count() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [hash, bucket] : shard.buckets) {
+      (void)hash;
+      total += bucket.size();
+    }
+  }
+  return total;
+}
+
+void ResultCache::debug_insert(std::uint64_t hash, std::string canonical,
+                               CachedSchedule payload) {
+  Shard& shard = shard_for(hash);
+  std::lock_guard lock(shard.mutex);
+  shard.buckets[hash].push_back(
+      Entry{std::move(canonical), std::move(payload)});
+}
+
+}  // namespace pipesched

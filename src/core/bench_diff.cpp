@@ -52,11 +52,14 @@ class Differ {
     // portfolio win split live here too — which racer finishes first (and
     // hence which budget counter trips) depends on scheduling noise and on
     // the backend's internal search shape, not on answer correctness.
+    // Result-cache hit counts are informational too: a warm run hits
+    // where a cold run misses, while the optima above must stay exact.
     for (const char* field :
          {"curtailed_lambda_blocks", "curtailed_deadline_blocks",
           "portfolio_wins_bnb", "portfolio_wins_cp", "total_omega_calls",
           "total_nodes_expanded", "total_schedules_examined",
-          "total_cache_probes", "total_cache_hits"}) {
+          "total_cache_probes", "total_cache_hits",
+          "total_result_cache_hits"}) {
       info({"metrics", field});
     }
 
@@ -116,6 +119,19 @@ class Differ {
   }
 
   void exact(const std::vector<std::string>& path) {
+    // Integer-syntax values compare as exact int64: counters above 2^53
+    // (omega totals on long uptimes) would otherwise alias under double
+    // rounding and pass — or fail — on the wrong number.
+    const JsonValue* b = baseline_.find_path(path);
+    const JsonValue* c = candidate_.find_path(path);
+    if (b != nullptr && c != nullptr && b->is_integer() && c->is_integer()) {
+      const std::int64_t bi = b->as_int64();
+      const std::int64_t ci = c->as_int64();
+      push(bi == ci ? Status::Ok : Status::Mismatch, path,
+           std::to_string(bi), std::to_string(ci),
+           bi == ci ? "" : std::to_string(ci - bi));
+      return;
+    }
     double base = 0, cand = 0;
     if (!numbers(path, /*missing_fails=*/true, base, cand)) return;
     push(base == cand ? Status::Ok : Status::Mismatch, path,
@@ -202,7 +218,8 @@ JsonValue rollup_from_records(const std::vector<JsonValue>& records) {
   std::uint64_t initial_nops = 0, final_nops = 0, omega = 0, nodes = 0,
                 examined = 0, probes = 0, hits = 0;
   std::size_t errors = 0, infeasible = 0, optimal = 0, curtailed_lambda = 0,
-              curtailed_deadline = 0, wins_bnb = 0, wins_cp = 0;
+              curtailed_deadline = 0, wins_bnb = 0, wins_cp = 0,
+              result_cache_hits = 0;
   double total_seconds = 0;
   std::vector<double> seconds;
   seconds.reserve(records.size());
@@ -222,6 +239,7 @@ JsonValue rollup_from_records(const std::vector<JsonValue>& records) {
       ++infeasible;
     }
     if (bool_field(r, "completed", false)) ++optimal;
+    if (bool_field(r, "result_cache_hit", false)) ++result_cache_hits;
     const JsonValue* reason = r.find("curtail_reason");
     if (reason != nullptr && reason->is_string()) {
       if (reason->as_string() == "lambda") ++curtailed_lambda;
@@ -244,25 +262,28 @@ JsonValue rollup_from_records(const std::vector<JsonValue>& records) {
   }
 
   std::vector<std::pair<std::string, JsonValue>> metrics;
-  auto metric = [&](const char* key, double v) {
-    metrics.emplace_back(key, JsonValue::make_number(v));
+  // Counters aggregate as exact integers (make_integer) so the diff's
+  // exact-compare path never sees a rounded value.
+  auto metric = [&](const char* key, std::uint64_t v) {
+    metrics.emplace_back(key,
+                         JsonValue::make_integer(static_cast<std::int64_t>(v)));
   };
-  metric("blocks", static_cast<double>(records.size()));
-  metric("errors", static_cast<double>(errors));
-  metric("optimal_blocks", static_cast<double>(optimal));
-  metric("infeasible_blocks", static_cast<double>(infeasible));
-  metric("curtailed_lambda_blocks", static_cast<double>(curtailed_lambda));
-  metric("curtailed_deadline_blocks",
-         static_cast<double>(curtailed_deadline));
-  metric("portfolio_wins_bnb", static_cast<double>(wins_bnb));
-  metric("portfolio_wins_cp", static_cast<double>(wins_cp));
-  metric("total_initial_nops", static_cast<double>(initial_nops));
-  metric("total_final_nops", static_cast<double>(final_nops));
-  metric("total_omega_calls", static_cast<double>(omega));
-  metric("total_nodes_expanded", static_cast<double>(nodes));
-  metric("total_schedules_examined", static_cast<double>(examined));
-  metric("total_cache_probes", static_cast<double>(probes));
-  metric("total_cache_hits", static_cast<double>(hits));
+  metric("blocks", records.size());
+  metric("errors", errors);
+  metric("optimal_blocks", optimal);
+  metric("infeasible_blocks", infeasible);
+  metric("curtailed_lambda_blocks", curtailed_lambda);
+  metric("curtailed_deadline_blocks", curtailed_deadline);
+  metric("portfolio_wins_bnb", wins_bnb);
+  metric("portfolio_wins_cp", wins_cp);
+  metric("total_initial_nops", initial_nops);
+  metric("total_final_nops", final_nops);
+  metric("total_omega_calls", omega);
+  metric("total_nodes_expanded", nodes);
+  metric("total_schedules_examined", examined);
+  metric("total_cache_probes", probes);
+  metric("total_cache_hits", hits);
+  metric("total_result_cache_hits", result_cache_hits);
 
   std::vector<std::pair<std::string, JsonValue>> total_col;
   if (!seconds.empty()) {

@@ -26,8 +26,13 @@ Schedule run_scheduler(SchedulerKind kind, const Machine& machine,
   // list-schedule seed pass from the optimal search. Every policy fills
   // its full stats ledger itself (Scheduler-interface contract).
   TraceSpan trace_span(scheduler_kind_name(kind));
-  ScheduleResult result = make_scheduler(kind, search)->run(machine, dag,
-                                                            initial);
+  // The optimal policy goes through run_optimal_backend so the persistent
+  // result cache (SearchConfig::result_cache_path) covers plain compiles,
+  // not just the register-limited and corpus paths.
+  ScheduleResult result =
+      kind == SchedulerKind::Optimal
+          ? run_optimal_backend(machine, dag, search, initial)
+          : make_scheduler(kind, search)->run(machine, dag, initial);
   if (stats) *stats = result.stats;
   return std::move(result.schedule);
 }

@@ -32,6 +32,8 @@ struct RunRecord {
   std::uint64_t cache_hits = 0;       ///< subtrees pruned as dominated
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_superseded = 0;
+  /// Block served from the persistent result cache (no search ran).
+  bool result_cache_hit = false;
   bool completed = true;    ///< condition [1] (provably optimal)
   CurtailReason curtail_reason = CurtailReason::None;
   bool feasible = true;     ///< pressure-constrained search found a schedule
@@ -106,6 +108,11 @@ struct CorpusSummary {
     double avg_omega_calls = 0;
     double avg_nodes_expanded = 0;
     double cache_hit_percent = 0;  ///< hits / probes over the column
+    /// Blocks served from the persistent result cache.
+    std::size_t result_cache_hits = 0;
+    /// result_cache_hits / non-error blocks (0 when the cache is off —
+    /// the warm-run CI lane asserts >= 95 here on a second pass).
+    double result_cache_hit_percent = 0;
     double avg_seconds = 0;
     /// Per-block wall-time distribution (seconds) over the non-error
     /// records — the tail is what deadline/λ tuning actually fights.

@@ -36,6 +36,12 @@ struct PrefixStep {
   int group;
 };
 
+/// Seed for the second Zobrist table backing the dominance cache's
+/// verification word. Any value different from ZobristKeys' default works;
+/// what matters is that the two tables are independently random, so a
+/// placed-set collision under one is vanishingly unlikely under both.
+constexpr std::uint64_t kVerifyZobristSeed = 0xc0ffee5eedf00d42ull;
+
 /// A frontier subtree root, identified by the decisions that reach it.
 using Prefix = std::vector<PrefixStep>;
 
@@ -84,7 +90,8 @@ class Search {
                                      config.strong_equivalence,
                                      config.max_live_registers > 0)),
         latency_height_(latency_heights(machine, dag)),
-        zobrist_(dag.size()) {
+        zobrist_(dag.size()),
+        zobrist2_(dag.size(), kVerifyZobristSeed) {
     if (config.dominance_cache && n_ > 0) {
       cache_.emplace(config.dominance_cache_bytes);
     }
@@ -143,6 +150,7 @@ class Search {
       result.stats.cache_misses = cs.misses;
       result.stats.cache_evictions = cs.evictions;
       result.stats.cache_superseded = cs.superseded;
+      result.stats.cache_verified_rejects = cs.verified_rejects;
       result.stats.pruned_dominance = cs.hits;
     }
     result.stats.seconds = wall.seconds();
@@ -313,6 +321,7 @@ class Search {
     stats.cache_misses = cache_ledger_.misses;
     stats.cache_evictions = cache_ledger_.evictions;
     stats.cache_superseded = cache_ledger_.superseded;
+    stats.cache_verified_rejects = cache_ledger_.verified_rejects;
     stats.pruned_dominance = cache_ledger_.hits;
     stats.seconds = wall.seconds();
     stats_ = nullptr;
@@ -367,6 +376,14 @@ class Search {
   }
 
   /// Apply one recorded branching decision: the push half of descend()'s
+  /// Flip `t`'s membership in both incremental placed-set hashes (the
+  /// primary key and the independent verification word track the same set
+  /// through every push/pop/replay/unwind).
+  void toggle_scheduled(TupleIndex t) {
+    scheduled_hash_ ^= zobrist_.key(static_cast<std::size_t>(t));
+    scheduled_hash2_ ^= zobrist2_.key(static_cast<std::size_t>(t));
+  }
+
   /// loop body without any stats (used to replay prefixes and to expand
   /// frontier children, which do their own counting).
   void replay_step(const PrefixStep& s) {
@@ -377,7 +394,7 @@ class Search {
     } else {
       timer_.push(s.tuple, groups[static_cast<std::size_t>(s.group)]);
     }
-    scheduled_hash_ ^= zobrist_.key(static_cast<std::size_t>(s.tuple));
+    toggle_scheduled(s.tuple);
     pressure_push(s.tuple);
     for (TupleIndex succ : dag_.succs(s.tuple)) {
       --unplaced_preds_[static_cast<std::size_t>(succ)];
@@ -389,7 +406,7 @@ class Search {
       ++unplaced_preds_[static_cast<std::size_t>(succ)];
     }
     pressure_pop(s.tuple);
-    scheduled_hash_ ^= zobrist_.key(static_cast<std::size_t>(s.tuple));
+    toggle_scheduled(s.tuple);
     timer_.pop();
   }
 
@@ -629,10 +646,19 @@ class Search {
   /// Everything else the future cost depends on — ready sets, window
   /// positions, equivalence classes, live-register counts — is a function
   /// of the placed set alone. Two states with equal keys therefore admit
-  /// the same completions at the same incremental cost (modulo the 2^-64
-  /// hash-collision risk inherent to Zobrist schemes).
-  std::uint64_t state_key() const {
+  /// the same completions at the same incremental cost. A bare 64-bit
+  /// equality is still not trusted: the same residues are folded through
+  /// a second, independent hash family (zobrist2_/hash64_alt) into a
+  /// verification word, and the dominance cache requires both words to
+  /// match before it prunes (see dominance_cache.hpp).
+  struct StateKey {
+    std::uint64_t key;
+    std::uint64_t verify;
+  };
+
+  StateKey state_key() const {
     std::uint64_t h = scheduled_hash_;
+    std::uint64_t h2 = scheduled_hash2_;
     const int t_next = timer_.last_issue_cycle() + 1;
 
     for (std::size_t u = 0; u < machine_.pipeline_count(); ++u) {
@@ -640,9 +666,11 @@ class Search {
       const int ready =
           timer_.unit_last_issue(unit) + machine_.pipeline(unit).enqueue;
       if (ready > t_next) {
-        h ^= hash64((std::uint64_t{1} << 48) |
-                    (static_cast<std::uint64_t>(u) << 32) |
-                    static_cast<std::uint64_t>(ready - t_next));
+        const std::uint64_t pack = (std::uint64_t{1} << 48) |
+                                   (static_cast<std::uint64_t>(u) << 32) |
+                                   static_cast<std::uint64_t>(ready - t_next);
+        h ^= hash64(pack);
+        h2 ^= hash64_alt(pack);
       }
     }
 
@@ -658,11 +686,14 @@ class Search {
       const int available = p.issue_cycle + latency;
       if (available <= t_next) continue;
       if (!has_unplaced_succ(p.tuple)) continue;
-      h ^= hash64((std::uint64_t{2} << 48) |
-                  (static_cast<std::uint64_t>(p.tuple) << 32) |
-                  static_cast<std::uint64_t>(available - t_next));
+      const std::uint64_t pack =
+          (std::uint64_t{2} << 48) |
+          (static_cast<std::uint64_t>(p.tuple) << 32) |
+          static_cast<std::uint64_t>(available - t_next);
+      h ^= hash64(pack);
+      h2 ^= hash64_alt(pack);
     }
-    return h;
+    return StateKey{h, h2};
   }
 
   void descend() {
@@ -707,17 +738,20 @@ class Search {
     // the whole result to possibly-suboptimal anyway.
     if (timer_.depth() > 0) {
       if (shared_cache_) {
-        if (shared_cache_->probe_and_update(state_key(),
+        const StateKey sk = state_key();
+        if (shared_cache_->probe_and_update(sk.key, sk.verify,
                                             static_cast<int>(timer_.depth()),
                                             timer_.total_nops(),
                                             cache_ledger_)) {
           return;
         }
-      } else if (cache_ &&
-                 cache_->probe_and_update(state_key(),
-                                          static_cast<int>(timer_.depth()),
-                                          timer_.total_nops())) {
-        return;
+      } else if (cache_) {
+        const StateKey sk = state_key();
+        if (cache_->probe_and_update(sk.key, sk.verify,
+                                     static_cast<int>(timer_.depth()),
+                                     timer_.total_nops())) {
+          return;
+        }
       }
     }
 
@@ -790,7 +824,7 @@ class Search {
         } else {
           timer_.push(candidate, groups[g]);
         }
-        scheduled_hash_ ^= zobrist_.key(static_cast<std::size_t>(candidate));
+        toggle_scheduled(candidate);
         pressure_push(candidate);
         for (TupleIndex s : dag_.succs(candidate)) {
           --unplaced_preds_[static_cast<std::size_t>(s)];
@@ -812,7 +846,7 @@ class Search {
           ++unplaced_preds_[static_cast<std::size_t>(s)];
         }
         pressure_pop(candidate);
-        scheduled_hash_ ^= zobrist_.key(static_cast<std::size_t>(candidate));
+        toggle_scheduled(candidate);
         timer_.pop();
 
         if (!stats_->completed) return;    // curtailed deeper in the tree
@@ -837,11 +871,13 @@ class Search {
   std::vector<int> total_uses_;
   std::vector<int> live_before_stack_;
   ZobristKeys zobrist_;
+  ZobristKeys zobrist2_;  // independent table for the verification word
   std::optional<DominanceCache> cache_;
   std::chrono::steady_clock::time_point deadline_at_{};
   bool has_deadline_ = false;
   bool deadline_expired_ = false;
   std::uint64_t scheduled_hash_ = 0;
+  std::uint64_t scheduled_hash2_ = 0;
   int live_ = 0;
   int best_nops_ = 0;
   Schedule* best_schedule_ = nullptr;
@@ -980,6 +1016,7 @@ OptimalResult run_parallel(const Machine& machine, const DepGraph& dag,
     merged.cache_misses += ws.cache_misses;
     merged.cache_evictions += ws.cache_evictions;
     merged.cache_superseded += ws.cache_superseded;
+    merged.cache_verified_rejects += ws.cache_verified_rejects;
     merged.incumbent_improvements += ws.incumbent_improvements;
     merged.feasible = merged.feasible || ws.feasible;
   }

@@ -114,6 +114,12 @@ struct SearchStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;   ///< entries displaced (budget full)
   std::uint64_t cache_superseded = 0;  ///< cached cost improved in place
+  /// Probes whose 64-bit key matched a cached entry but whose independent
+  /// verification word did not — real hash collisions between distinct
+  /// states, which an unverified cache would have turned into unsound
+  /// prunes. Expected to be ~0 in practice; nonzero values are benign
+  /// (the probe degrades to a miss) but worth monitoring.
+  std::uint64_t cache_verified_rejects = 0;
 
   /// Times a complete schedule strictly beat the incumbent (the seed's
   /// initial evaluation is not counted).
@@ -129,6 +135,13 @@ struct SearchStats {
   /// every standalone backend). See PortfolioWinner for why this is a
   /// diagnostic, not a correctness signal.
   PortfolioWinner portfolio_winner = PortfolioWinner::None;
+
+  /// True when this result was served from the persistent result cache
+  /// (SearchConfig::result_cache_path) instead of a live search. Hits
+  /// synthesize a completed SearchStats: best_nops/initial_nops are the
+  /// cached values, all search counters are zero, and `seconds` is the
+  /// lookup time.
+  bool result_cache_hit = false;
 
   double seconds = 0.0;
 };

@@ -4,6 +4,7 @@
 #include <tuple>
 #include <utility>
 
+#include "cache/result_cache.hpp"
 #include "sched/cp_scheduler.hpp"
 #include "sched/exhaustive_scheduler.hpp"
 #include "sched/greedy_scheduler.hpp"
@@ -112,8 +113,47 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
 ScheduleResult run_optimal_backend(const Machine& machine, const DepGraph& dag,
                                    const SearchConfig& config,
                                    const PipelineState& initial) {
-  return make_scheduler(SchedulerKind::Optimal, config)
-      ->run(machine, dag, initial);
+  if (config.result_cache_path.empty()) {
+    return make_scheduler(SchedulerKind::Optimal, config)
+        ->run(machine, dag, initial);
+  }
+
+  // Persistent tier: consult the cross-run result cache before spending
+  // any search effort. The canonical form captures everything the proven
+  // optimum depends on; a verified hit short-circuits the whole search.
+  Timer lookup_timer;
+  const std::shared_ptr<ResultCache> cache =
+      ResultCache::open_shared(config.result_cache_path);
+  const std::string canonical =
+      ResultCache::canonical_form(machine, dag, config, initial);
+  CachedSchedule cached;
+  if (cache->lookup(canonical, &cached)) {
+    ScheduleResult result;
+    result.schedule = std::move(cached.schedule);
+    result.stats.completed = true;
+    result.stats.feasible = true;
+    result.stats.initial_nops = cached.initial_nops;
+    result.stats.best_nops = cached.best_nops;
+    result.stats.result_cache_hit = true;
+    result.stats.seconds = lookup_timer.seconds();
+    return result;
+  }
+
+  ScheduleResult result =
+      make_scheduler(SchedulerKind::Optimal, config)->run(machine, dag, initial);
+  // Only PROVEN results are memoized: a completed feasible search's
+  // best_nops is the true optimum under any budget/backend/pruning
+  // configuration, so the entry stays valid for every future query with
+  // the same canonical form. Curtailed or infeasible results are never
+  // stored.
+  if (result.stats.completed && result.stats.feasible) {
+    CachedSchedule to_store;
+    to_store.initial_nops = result.stats.initial_nops;
+    to_store.best_nops = result.stats.best_nops;
+    to_store.schedule = result.schedule;
+    cache->store(canonical, to_store);
+  }
+  return result;
 }
 
 std::vector<int> equivalence_classes(const Machine& machine,
@@ -252,6 +292,9 @@ void flush_search_metrics(const SearchStats& stats) {
       "ps_search_cache_events_total", {{"event", "evict"}}, kCacheHelp);
   static Counter& cache_superseded = metrics_counter(
       "ps_search_cache_events_total", {{"event", "supersede"}}, kCacheHelp);
+  static Counter& cache_verified_rejects = metrics_counter(
+      "ps_search_cache_events_total", {{"event", "verified_reject"}},
+      kCacheHelp);
   static const char* kCurtailHelp =
       "Searches truncated before exhausting the space, by expired budget";
   static Counter& curtailed_lambda = metrics_counter(
@@ -286,6 +329,7 @@ void flush_search_metrics(const SearchStats& stats) {
   cache_misses.add(stats.cache_misses);
   cache_evictions.add(stats.cache_evictions);
   cache_superseded.add(stats.cache_superseded);
+  cache_verified_rejects.add(stats.cache_verified_rejects);
   if (stats.curtail_reason == CurtailReason::Lambda) {
     curtailed_lambda.increment();
   } else if (stats.curtail_reason == CurtailReason::Deadline) {

@@ -89,9 +89,12 @@ struct SearchConfig {
   /// are a function of the placed *set*, which is part of the state key.
   bool dominance_cache = true;
 
-  /// Memory budget for the dominance cache, per search (16-byte entries;
-  /// the table starts small and grows on demand up to this bound).
-  std::size_t dominance_cache_bytes = 1u << 20;
+  /// Memory budget for the dominance cache, per search (24-byte entries —
+  /// key, verification word, cost, depth; the table starts small and
+  /// grows on demand up to this bound). 1.5 MiB keeps the historical
+  /// 65,536-entry table now that the verification word widened entries
+  /// from 16 to 24 bytes.
+  std::size_t dominance_cache_bytes = 3u << 19;
 
   /// Worker threads for the B&B search itself (1 = the classic sequential
   /// algorithm, bit-identical to previous releases; 0 = one per hardware
@@ -114,6 +117,16 @@ struct SearchConfig {
   /// optimal schedule *among the feasible ones*; stats.feasible reports
   /// whether any complete feasible schedule was found.
   int max_live_registers = 0;
+
+  /// Persistent cross-run result cache (empty = disabled). When set,
+  /// run_optimal_backend consults the append-log cache at this path
+  /// before dispatching a backend and memoizes proven-optimal results
+  /// after. Lookups are verified byte-for-byte against the canonical
+  /// query (see cache/result_cache.hpp), so a stale or colliding entry
+  /// degrades to a miss, never a wrong schedule. Exposed as
+  /// `psc --result-cache <path>` and the PS_RESULT_CACHE env knob of the
+  /// benches.
+  std::string result_cache_path;
 };
 
 /// What every Scheduler::run returns: the schedule plus a fully-populated

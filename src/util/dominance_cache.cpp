@@ -62,11 +62,16 @@ DominanceCache::~DominanceCache() {
   static Counter& superseded = metrics_counter(
       "ps_dominance_cache_superseded_total", {},
       "Cached costs improved in place across all retired caches");
+  static Counter& verified_rejects = metrics_counter(
+      "ps_dominance_cache_verified_rejects_total", {},
+      "Probes whose 64-bit key matched but whose verification word did "
+      "not, across all retired caches");
   entries.set(static_cast<double>(used_));
   cap.set(static_cast<double>(entries_.size()));
   inserts.add(stats_.inserts);
   evictions.add(stats_.evictions);
   superseded.add(stats_.superseded);
+  verified_rejects.add(stats_.verified_rejects);
 }
 
 bool DominanceCache::place(std::vector<Entry>& table, const Entry& e) {
@@ -95,8 +100,8 @@ void DominanceCache::maybe_grow() {
   entries_ = std::move(bigger);
 }
 
-bool DominanceCache::probe_and_update(std::uint64_t key, int depth,
-                                      int cost) {
+bool DominanceCache::probe_and_update(std::uint64_t key, std::uint64_t verify,
+                                      int depth, int cost) {
   PS_ASSERT(depth >= 0 && depth < (1 << 16));
   if (key == 0) key = 0x9e3779b97f4a7c15ull;  // 0 marks empty slots
   ++stats_.probes;
@@ -109,6 +114,7 @@ bool DominanceCache::probe_and_update(std::uint64_t key, int depth,
     Entry& e = entries_[idx];
     if (e.key == 0) {
       e.key = key;
+      e.verify = verify;
       e.cost = cost;
       e.depth = depth16;
       ++used_;
@@ -118,14 +124,21 @@ bool DominanceCache::probe_and_update(std::uint64_t key, int depth,
       return false;
     }
     if (e.key == key && e.depth == depth16) {
-      if (e.cost <= cost) {
-        ++stats_.hits;
-        return true;
+      if (e.verify == verify) {
+        if (e.cost <= cost) {
+          ++stats_.hits;
+          return true;
+        }
+        e.cost = cost;
+        ++stats_.misses;
+        ++stats_.superseded;
+        return false;
       }
-      e.cost = cost;
-      ++stats_.misses;
-      ++stats_.superseded;
-      return false;
+      // Full-word key collision between two DISTINCT states: treating
+      // this entry as a transposition would prune a subtree that is not
+      // dominated. Count the near-miss and treat the slot as a stranger;
+      // it stays eligible as a replacement victim below.
+      ++stats_.verified_rejects;
     }
     // Replacement policy: keep the shallowest states — they guard the
     // largest subtrees — and among equal depths keep the cheaper (stronger
@@ -139,6 +152,7 @@ bool DominanceCache::probe_and_update(std::uint64_t key, int depth,
   Entry& v = entries_[victim];
   if (v.depth >= depth16) {
     v.key = key;
+    v.verify = verify;
     v.cost = cost;
     v.depth = depth16;
     ++stats_.evictions;
@@ -158,7 +172,8 @@ ShardedDominanceCache::ShardedDominanceCache(std::size_t max_bytes,
   }
 }
 
-bool ShardedDominanceCache::probe_and_update(std::uint64_t key, int depth,
+bool ShardedDominanceCache::probe_and_update(std::uint64_t key,
+                                             std::uint64_t verify, int depth,
                                              int cost,
                                              DominanceCacheStats& local) {
   // High bits pick the shard; the shard's table indexes with the low bits
@@ -166,7 +181,8 @@ bool ShardedDominanceCache::probe_and_update(std::uint64_t key, int depth,
   Shard& shard = *shards_[(key >> 48) & shard_mask_];
   std::lock_guard lock(shard.mutex);
   const DominanceCacheStats before = shard.cache.stats();
-  const bool dominated = shard.cache.probe_and_update(key, depth, cost);
+  const bool dominated =
+      shard.cache.probe_and_update(key, verify, depth, cost);
   const DominanceCacheStats& after = shard.cache.stats();
   local.probes += after.probes - before.probes;
   local.hits += after.hits - before.hits;
@@ -174,6 +190,7 @@ bool ShardedDominanceCache::probe_and_update(std::uint64_t key, int depth,
   local.inserts += after.inserts - before.inserts;
   local.evictions += after.evictions - before.evictions;
   local.superseded += after.superseded - before.superseded;
+  local.verified_rejects += after.verified_rejects - before.verified_rejects;
   return dominated;
 }
 
@@ -188,6 +205,7 @@ DominanceCacheStats ShardedDominanceCache::stats() const {
     total.inserts += s.inserts;
     total.evictions += s.evictions;
     total.superseded += s.superseded;
+    total.verified_rejects += s.verified_rejects;
   }
   return total;
 }

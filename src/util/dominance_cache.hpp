@@ -24,8 +24,19 @@
 //     a keep-the-shallowest replacement policy (shallow states guard the
 //     largest subtrees); the table starts small and doubles up to the
 //     byte budget so tiny searches pay near-zero setup cost. All traffic
-//     is counted (probes/hits/misses/inserts/evictions/superseded) for
-//     telemetry.
+//     is counted (probes/hits/misses/inserts/evictions/superseded/
+//     verified_rejects) for telemetry.
+//
+// Soundness note: a match on the 64-bit key alone is NOT proof that two
+// scheduler states are equal — two distinct states colliding on the full
+// word would be treated as transpositions of each other, and the cache
+// would prune a subtree that is not actually dominated (possibly the only
+// one holding the optimum). Every entry therefore also stores a second
+// 64-bit verification word computed from an independent hash family
+// (hash64_alt over a second Zobrist table); a probe only counts as a
+// match when key, depth, AND verification word all agree. A surviving
+// 128-bit collision is astronomically unlikely, and a mismatch merely
+// degrades to a miss — never an unsound prune.
 //
 // The cache is deliberately ignorant of schedules: callers define what a
 // "state key" means. DominanceCache is not thread-safe (the sequential
@@ -66,8 +77,22 @@ inline std::uint64_t hash64(std::uint64_t v) {
   return v ^ (v >> 31);
 }
 
+/// Second, independent finalizer (Murmur3 fmix64 constants) for the
+/// verification word: an input pair colliding under hash64 has no
+/// structural reason to also collide here, so (hash64, hash64_alt)
+/// behaves as a 128-bit identity.
+inline std::uint64_t hash64_alt(std::uint64_t v) {
+  v ^= 0x2545f4914f6cdd1dull;
+  v = (v ^ (v >> 33)) * 0xff51afd7ed558ccdull;
+  v = (v ^ (v >> 33)) * 0xc4ceb9fe1a85ec53ull;
+  return v ^ (v >> 33);
+}
+
 /// Traffic counters. Invariants (checked by the test suite):
 /// hits + misses == probes; inserts <= misses; superseded <= misses.
+/// verified_rejects is not part of the hit/miss partition: a rejected
+/// probe still resolves to a miss (the colliding entry is simply not
+/// treated as a match).
 struct DominanceCacheStats {
   std::uint64_t probes = 0;      ///< probe_and_update calls
   std::uint64_t hits = 0;        ///< dominated: cached cost <= offered cost
@@ -75,13 +100,15 @@ struct DominanceCacheStats {
   std::uint64_t inserts = 0;     ///< new entries created
   std::uint64_t evictions = 0;   ///< entries displaced by replacement
   std::uint64_t superseded = 0;  ///< cached cost improved in place
+  std::uint64_t verified_rejects = 0;  ///< key matched, verify word did not
 };
 
 class DominanceCache {
  public:
-  /// `max_bytes` bounds the table; entries are 16 bytes each. The table
-  /// starts at a small power of two and doubles on demand up to the
-  /// budget, so per-search construction cost stays proportional to use.
+  /// `max_bytes` bounds the table; entries are 24 bytes each (key,
+  /// verification word, cost, depth). The table starts at a small power
+  /// of two and doubles on demand up to the budget, so per-search
+  /// construction cost stays proportional to use.
   explicit DominanceCache(std::size_t max_bytes = kDefaultBytes);
 
   /// Publishes the cache's lifetime traffic (occupancy, inserts,
@@ -91,10 +118,14 @@ class DominanceCache {
   ~DominanceCache();
 
   /// One combined lookup/store at `depth` with partial cost `cost`:
-  /// returns true when a cached visit of the same (key, depth) had
-  /// equal-or-lower cost — the caller's branch is dominated and should be
-  /// pruned. Otherwise records (or improves) the entry and returns false.
-  bool probe_and_update(std::uint64_t key, int depth, int cost);
+  /// returns true when a cached visit of the same (key, verify, depth)
+  /// had equal-or-lower cost — the caller's branch is dominated and
+  /// should be pruned. Otherwise records (or improves) the entry and
+  /// returns false. `verify` must come from an independent hash family
+  /// over the same state (see hash64_alt); a key match with a verify
+  /// mismatch is counted as a verified reject and never treated as a hit.
+  bool probe_and_update(std::uint64_t key, std::uint64_t verify, int depth,
+                        int cost);
 
   const DominanceCacheStats& stats() const { return stats_; }
   std::size_t capacity() const { return entries_.size(); }
@@ -104,12 +135,13 @@ class DominanceCache {
 
  private:
   struct Entry {
-    std::uint64_t key = 0;  ///< 0 = empty slot (real keys are remapped)
+    std::uint64_t key = 0;     ///< 0 = empty slot (real keys are remapped)
+    std::uint64_t verify = 0;  ///< independent-family word; must also match
     std::int32_t cost = 0;
     std::uint16_t depth = 0;
     std::uint16_t pad = 0;
   };
-  static_assert(sizeof(Entry) == 16);
+  static_assert(sizeof(Entry) == 24);
 
   static constexpr std::size_t kProbeWindow = 8;
 
@@ -149,8 +181,8 @@ class ShardedDominanceCache {
   /// Thread-safe probe_and_update: returns true when the branch is
   /// dominated (see DominanceCache::probe_and_update). The shard's stats
   /// delta for this probe is accumulated into `local`.
-  bool probe_and_update(std::uint64_t key, int depth, int cost,
-                        DominanceCacheStats& local);
+  bool probe_and_update(std::uint64_t key, std::uint64_t verify, int depth,
+                        int cost, DominanceCacheStats& local);
 
   /// Aggregate traffic across all shards (locks each shard briefly; call
   /// at quiescence for exact totals).

@@ -1,5 +1,6 @@
 #include "util/json.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -15,7 +16,12 @@ bool JsonValue::as_bool() const {
 
 double JsonValue::as_number() const {
   PS_CHECK(kind_ == Kind::Number, "JSON value is not a number");
-  return number_;
+  return integer_ ? static_cast<double>(int_) : number_;
+}
+
+std::int64_t JsonValue::as_int64() const {
+  PS_CHECK(is_integer(), "JSON value is not an exact integer");
+  return int_;
 }
 
 const std::string& JsonValue::as_string() const {
@@ -65,6 +71,15 @@ JsonValue JsonValue::make_number(double n) {
   JsonValue v;
   v.kind_ = Kind::Number;
   v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::make_integer(std::int64_t n) {
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.integer_ = true;
+  v.int_ = n;
+  v.number_ = static_cast<double>(n);
   return v;
 }
 
@@ -316,11 +331,14 @@ class Parser {
     } else if (digits() == 0) {
       fail("bad number");
     }
+    bool integer_syntax = true;
     if (pos_ < text_.size() && text_[pos_] == '.') {
+      integer_syntax = false;
       ++pos_;
       if (digits() == 0) fail("bad number: no digits after '.'");
     }
     if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integer_syntax = false;
       ++pos_;
       if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
         ++pos_;
@@ -328,6 +346,18 @@ class Parser {
       if (digits() == 0) fail("bad number: no exponent digits");
     }
     const std::string token = text_.substr(start, pos_ - start);
+    if (integer_syntax) {
+      // Keep integer-syntax tokens exact when they fit int64; doubles
+      // round everything past 2^53, which the exact-compare consumers
+      // (bench_diff correctness fields, the result-cache records) cannot
+      // tolerate. Out-of-range integers fall through to the double path.
+      errno = 0;
+      char* end = nullptr;
+      const long long parsed = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return JsonValue::make_integer(static_cast<std::int64_t>(parsed));
+      }
+    }
     return JsonValue::make_number(std::strtod(token.c_str(), nullptr));
   }
 

@@ -5,9 +5,16 @@
 // the bench regression gate and the test suite also need to *read* it back
 // — without adding an external dependency. This is a small, strict,
 // recursive-descent parser over the full JSON grammar (RFC 8259): objects
-// preserve key order, numbers are doubles, \uXXXX escapes decode to UTF-8
-// (surrogate pairs included). Malformed input throws pipesched::Error with
-// a byte offset, never yields a half-parsed value.
+// preserve key order, \uXXXX escapes decode to UTF-8 (surrogate pairs
+// included). Malformed input throws pipesched::Error with a byte offset,
+// never yields a half-parsed value.
+//
+// Numbers: integer-syntax tokens (no '.', no exponent) that fit int64 are
+// kept EXACTLY (is_integer()/as_int64()) instead of being routed through a
+// double — u64-scale counters like omega-call totals exceed 2^53 on long
+// uptimes, and a silently rounded value would make bench_diff's exact
+// comparisons pass (or fail) on the wrong number. Everything else parses
+// as a double, and as_number() still works for both shapes.
 #pragma once
 
 #include <cstdint>
@@ -32,9 +39,17 @@ class JsonValue {
   bool is_array() const { return kind_ == Kind::Array; }
   bool is_object() const { return kind_ == Kind::Object; }
 
+  /// True for numbers carrying an exact int64 (integer-syntax token in
+  /// range, or make_integer). as_number() works on these too, with the
+  /// usual precision loss above 2^53.
+  bool is_integer() const { return kind_ == Kind::Number && integer_; }
+
   /// Checked accessors: throw pipesched::Error on a kind mismatch.
   bool as_bool() const;
   double as_number() const;
+
+  /// Exact integer value; throws unless is_integer().
+  std::int64_t as_int64() const;
   const std::string& as_string() const;
   const std::vector<JsonValue>& as_array() const;
   const std::vector<std::pair<std::string, JsonValue>>& as_object() const;
@@ -49,6 +64,7 @@ class JsonValue {
   static JsonValue make_null();
   static JsonValue make_bool(bool b);
   static JsonValue make_number(double n);
+  static JsonValue make_integer(std::int64_t n);
   static JsonValue make_string(std::string s);
   static JsonValue make_array(std::vector<JsonValue> items);
   static JsonValue make_object(
@@ -57,7 +73,9 @@ class JsonValue {
  private:
   Kind kind_ = Kind::Null;
   bool bool_ = false;
+  bool integer_ = false;     ///< number carries an exact int64 in int_
   double number_ = 0;
+  std::int64_t int_ = 0;
   std::string string_;
   std::vector<JsonValue> array_;
   std::vector<std::pair<std::string, JsonValue>> object_;

@@ -355,11 +355,16 @@ TEST(ShardedDominanceCache, ConcurrentHammerKeepsExactLedgers) {
     threads.emplace_back([&cache, &ledgers, t] {
       Rng rng(0xABCD + static_cast<std::uint64_t>(t));
       for (int i = 0; i < kProbesPerThread; ++i) {
-        // Small key/depth spaces force heavy cross-thread collisions.
-        const std::uint64_t key = hash64(rng.next_below(5000) + 1);
+        // Small key/depth spaces force heavy cross-thread collisions. The
+        // verify word is a function of the same underlying id, as in the
+        // real search (both hashes describe one state).
+        const std::uint64_t id = rng.next_below(5000) + 1;
+        const std::uint64_t key = hash64(id);
+        const std::uint64_t verify = hash64_alt(id);
         const int depth = static_cast<int>(rng.next_below(12));
         const int cost = static_cast<int>(rng.next_below(40));
-        cache.probe_and_update(key, depth, cost, ledgers[static_cast<std::size_t>(t)]);
+        cache.probe_and_update(key, verify, depth, cost,
+                               ledgers[static_cast<std::size_t>(t)]);
       }
     });
   }
@@ -373,6 +378,7 @@ TEST(ShardedDominanceCache, ConcurrentHammerKeepsExactLedgers) {
     sum.inserts += l.inserts;
     sum.evictions += l.evictions;
     sum.superseded += l.superseded;
+    sum.verified_rejects += l.verified_rejects;
   }
   EXPECT_EQ(sum.probes,
             static_cast<std::uint64_t>(kThreads) * kProbesPerThread);
@@ -385,6 +391,10 @@ TEST(ShardedDominanceCache, ConcurrentHammerKeepsExactLedgers) {
   EXPECT_EQ(total.inserts, sum.inserts);
   EXPECT_EQ(total.evictions, sum.evictions);
   EXPECT_EQ(total.superseded, sum.superseded);
+  EXPECT_EQ(total.verified_rejects, sum.verified_rejects);
+  // Every key derives its verify word from the same id, so no probe can
+  // ever present a matching key with a mismatched verify word here.
+  EXPECT_EQ(total.verified_rejects, 0u);
 }
 
 TEST(ShardedDominanceCache, ShardingPreservesDominanceSemantics) {
@@ -393,23 +403,69 @@ TEST(ShardedDominanceCache, ShardingPreservesDominanceSemantics) {
   // sequential cache's contract, just routed through a shard.
   ShardedDominanceCache cache(std::size_t{1} << 16, 4);
   DominanceCacheStats ledger;
-  EXPECT_FALSE(cache.probe_and_update(42, 3, 10, ledger));  // insert
-  EXPECT_TRUE(cache.probe_and_update(42, 3, 10, ledger));   // equal: hit
-  EXPECT_TRUE(cache.probe_and_update(42, 3, 12, ledger));   // worse: hit
-  EXPECT_FALSE(cache.probe_and_update(42, 3, 7, ledger));   // better: supersede
-  EXPECT_TRUE(cache.probe_and_update(42, 3, 7, ledger));
-  EXPECT_FALSE(cache.probe_and_update(42, 4, 7, ledger));  // new depth
+  EXPECT_FALSE(cache.probe_and_update(42, 9, 3, 10, ledger));  // insert
+  EXPECT_TRUE(cache.probe_and_update(42, 9, 3, 10, ledger));   // equal: hit
+  EXPECT_TRUE(cache.probe_and_update(42, 9, 3, 12, ledger));   // worse: hit
+  EXPECT_FALSE(cache.probe_and_update(42, 9, 3, 7, ledger));  // better: supersede
+  EXPECT_TRUE(cache.probe_and_update(42, 9, 3, 7, ledger));
+  EXPECT_FALSE(cache.probe_and_update(42, 9, 4, 7, ledger));  // new depth
   EXPECT_EQ(ledger.probes, 6u);
   EXPECT_EQ(ledger.hits, 3u);
   EXPECT_EQ(ledger.misses, 3u);
   EXPECT_EQ(ledger.inserts, 2u);
   EXPECT_EQ(ledger.superseded, 1u);
+  EXPECT_EQ(ledger.verified_rejects, 0u);
 
   // Shard counts round up to a power of two; the byte budget is split.
   EXPECT_EQ(cache.shard_count(), 4u);
   EXPECT_EQ(ShardedDominanceCache(1 << 16, 5).shard_count(), 8u);
   EXPECT_EQ(ShardedDominanceCache(1 << 16, 0).shard_count(), 1u);
   EXPECT_GT(cache.capacity(), 0u);
+}
+
+TEST(DominanceCache, ForcedCollisionIsRejectedNotTrusted) {
+  // The regression this guards: before the verification word, an entry
+  // matched on the bare 64-bit key, so two distinct states colliding on
+  // the full word were treated as transpositions — and the second one's
+  // subtree was unsoundly pruned. Plant an entry, then probe with the
+  // SAME key but a DIFFERENT verify word (a simulated full-word
+  // collision): the probe must miss, be counted as a verified reject,
+  // and coexist as its own entry afterwards.
+  DominanceCache cache;
+  const std::uint64_t key = hash64(0xDEADBEEF);
+  const std::uint64_t verify_a = hash64_alt(0xDEADBEEF);
+  const std::uint64_t verify_b = hash64_alt(0xFEEDFACE);
+  ASSERT_NE(verify_a, verify_b);
+
+  EXPECT_FALSE(cache.probe_and_update(key, verify_a, 5, 10));  // plant
+  // Colliding stranger, same depth, equal cost: a key-only cache would
+  // answer "dominated" here and prune. The verified cache must not.
+  EXPECT_FALSE(cache.probe_and_update(key, verify_b, 5, 10));
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().verified_rejects, 1u);
+
+  // Both states now live side by side and each matches only itself.
+  EXPECT_TRUE(cache.probe_and_update(key, verify_a, 5, 10));
+  EXPECT_TRUE(cache.probe_and_update(key, verify_b, 5, 10));
+  EXPECT_EQ(cache.stats().hits, 2u);
+  // The two self-hits each walked past the other's entry first.
+  EXPECT_GE(cache.stats().verified_rejects, 2u);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses,
+            cache.stats().probes);
+}
+
+TEST(ShardedDominanceCache, ForcedCollisionIsRejectedNotTrusted) {
+  // Same regression, routed through a shard: the sharded wrapper must
+  // propagate the verify word and surface the reject in the caller ledger.
+  ShardedDominanceCache cache(std::size_t{1} << 16, 4);
+  DominanceCacheStats ledger;
+  EXPECT_FALSE(cache.probe_and_update(77, 1111, 6, 4, ledger));
+  EXPECT_FALSE(cache.probe_and_update(77, 2222, 6, 4, ledger));
+  EXPECT_EQ(ledger.hits, 0u);
+  EXPECT_EQ(ledger.verified_rejects, 1u);
+  EXPECT_EQ(cache.stats().verified_rejects, 1u);
+  EXPECT_TRUE(cache.probe_and_update(77, 1111, 6, 4, ledger));
+  EXPECT_TRUE(cache.probe_and_update(77, 2222, 6, 4, ledger));
 }
 
 TEST(ParallelSearch, ZeroThreadsSelectsHardwareConcurrency) {

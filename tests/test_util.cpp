@@ -3,6 +3,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <set>
 
 #include "util/ascii_chart.hpp"
@@ -374,6 +375,42 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW(parse_json("{} trailing"), Error);
   EXPECT_THROW(parse_json("\"unterminated"), Error);
   EXPECT_THROW(parse_json("\"\\ud83d\""), Error);  // lone surrogate
+}
+
+TEST(Json, IntegerSyntaxKeepsExactInt64) {
+  // 2^53 + 1 is the first integer a double cannot represent; a parser
+  // routing everything through strtod would silently read 2^53.
+  const JsonValue doc = parse_json(
+      R"({"big": 9007199254740993, "neg": -9007199254740993,
+          "max": 9223372036854775807, "min": -9223372036854775808,
+          "flt": 9007199254740993.0, "exp": 9e15, "small": 42})");
+  ASSERT_TRUE(doc.find("big")->is_integer());
+  EXPECT_EQ(doc.find("big")->as_int64(), 9007199254740993LL);
+  EXPECT_EQ(doc.find("neg")->as_int64(), -9007199254740993LL);
+  EXPECT_EQ(doc.find("max")->as_int64(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(doc.find("min")->as_int64(),
+            std::numeric_limits<std::int64_t>::min());
+  // '.'/'e' syntax stays a double even when the value is integral.
+  EXPECT_FALSE(doc.find("flt")->is_integer());
+  EXPECT_FALSE(doc.find("exp")->is_integer());
+  EXPECT_THROW(doc.find("flt")->as_int64(), Error);
+  // as_number still works on exact integers (with the usual rounding).
+  EXPECT_TRUE(doc.find("small")->is_integer());
+  EXPECT_DOUBLE_EQ(doc.find("small")->as_number(), 42.0);
+}
+
+TEST(Json, OutOfRangeIntegerFallsBackToDouble) {
+  const JsonValue doc = parse_json(R"({"v": 98765432109876543210})");
+  ASSERT_TRUE(doc.find("v")->is_number());
+  EXPECT_FALSE(doc.find("v")->is_integer());
+  EXPECT_DOUBLE_EQ(doc.find("v")->as_number(), 9.876543210987654e19);
+}
+
+TEST(Json, MakeIntegerRoundTripsAbove2To53) {
+  const JsonValue v = JsonValue::make_integer(9007199254740993LL);
+  EXPECT_TRUE(v.is_integer());
+  EXPECT_EQ(v.as_int64(), 9007199254740993LL);
 }
 
 TEST(Json, TypeMismatchAccessorsThrow) {

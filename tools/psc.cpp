@@ -10,6 +10,7 @@
 #include <sstream>
 #include <string>
 
+#include "cache/result_cache.hpp"
 #include "core/compiler.hpp"
 #include "core/corpus_runner.hpp"
 #include "core/program_compiler.hpp"
@@ -67,6 +68,13 @@ scheduling:
                         bound, dominance cache, and lambda/deadline
                         budgets
   --no-cache            disable the state-dominance (transposition) cache
+  --result-cache <path> persistent cross-run result cache: consult the
+                        append-log file at <path> before each optimal
+                        search and memoize proven-optimal schedules after.
+                        Lookups are verified byte-for-byte against the
+                        canonical block+machine+config form, so collisions
+                        and stale entries degrade to misses, never wrong
+                        schedules
   --split <W>           schedule straight-line blocks with the Section 5.3
                         window splitter instead of the global search
   --registers <N>       register-limited compilation: spill + pressure-
@@ -115,6 +123,7 @@ struct Args {
   double deadline = 0;
   std::size_t search_threads = 1;
   bool dominance_cache = true;
+  std::string result_cache_path;
   int split_window = 0;
   int register_limit = 0;
   DelayMechanism mechanism = DelayMechanism::NopPadding;
@@ -248,6 +257,11 @@ Args parse_args(int argc, char** argv) {
           static_cast<std::size_t>(parse_u64_flag(arg, next()));
     } else if (arg == "--no-cache") {
       args.dominance_cache = false;
+    } else if (arg == "--result-cache") {
+      args.result_cache_path = next();
+      if (args.result_cache_path.empty()) {
+        invalid_flag_value(arg, args.result_cache_path);
+      }
     } else if (arg == "--split") {
       args.split_window = parse_int_flag(arg, next());
     } else if (arg == "--registers") {
@@ -309,6 +323,10 @@ void print_stats(const SearchStats& stats) {
   if (!stats.feasible) {
     std::cerr << "; search: INFEASIBLE — no schedule fits the register "
                  "ceiling; final NOPs is -1 (not a real optimum)\n";
+  }
+  if (stats.result_cache_hit) {
+    std::cerr << "; result cache: hit (schedule served from cache, no "
+                 "search ran)\n";
   }
   if (stats.portfolio_winner != PortfolioWinner::None) {
     std::cerr << "; portfolio: won by "
@@ -380,6 +398,7 @@ int compile_one_block(BasicBlock block, const Machine& machine,
   options.search.deadline_seconds = args.deadline;
   options.search.dominance_cache = args.dominance_cache;
   options.search.search_threads = args.search_threads;
+  options.search.result_cache_path = args.result_cache_path;
   options.optimize = args.optimize;
   options.reassociate = args.reassociate;
   options.emit.mechanism = args.mechanism;
@@ -416,6 +435,7 @@ int compile_one_block(BasicBlock block, const Machine& machine,
     config.search.deadline_seconds = args.deadline;
     config.search.dominance_cache = args.dominance_cache;
     config.search.search_threads = args.search_threads;
+    config.search.result_cache_path = args.result_cache_path;
     const SplitResult result = split_schedule(machine, dag, config);
     const Allocation allocation =
         linear_scan(prepared, result.schedule.order, options.registers);
@@ -513,6 +533,7 @@ int run_compile(const Args& args) {
   options.block.search.deadline_seconds = args.deadline;
   options.block.search.dominance_cache = args.dominance_cache;
   options.block.search.search_threads = args.search_threads;
+  options.block.search.result_cache_path = args.result_cache_path;
   options.block.optimize = args.optimize;
   options.block.reassociate = args.reassociate;
   options.block.emit.mechanism = args.mechanism;
@@ -536,6 +557,17 @@ int run_compile(const Args& args) {
 
 int run(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+  if (!args.result_cache_path.empty()) {
+    // Open (and thereby validate) the cache file before any compilation
+    // work: an unwritable directory or a version-mismatched file is a
+    // usage error (exit 2), not a mid-compile crash.
+    try {
+      ResultCache::open_shared(args.result_cache_path);
+    } catch (const Error& e) {
+      std::cerr << "psc: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }
   if (!args.trace_path.empty()) trace_enable();
   if (!args.metrics_path.empty()) metrics_enable();
   const int code = run_compile(args);
