@@ -16,7 +16,17 @@
 //   PS_RESULT_CACHE=<path>  persistent cross-run result cache file for the
 //                      optimal searches (see cache/result_cache.hpp) — the
 //                      warm-run CI lane points two successive corpus runs
-//                      at one file and asserts the second mostly hits.
+//                      at one file and asserts the second mostly hits;
+//   PS_PROFILE=<path>  sample every thread's phase stack during the corpus
+//                      run and write collapsed-stack lines to <path>
+//                      (flamegraph.pl/speedscope input; a phase-share
+//                      table is printed to stderr as well);
+//   PS_WATCHDOG=<seconds>  arm the stall watchdog: a search with no
+//                      heartbeat progress for that long dumps its flight
+//                      recorder to stderr (and <PS_PROFILE>.stall.json
+//                      when PS_PROFILE is also set);
+//   PS_BACKEND=<bnb|cp|portfolio>  optimal-search backend for the corpus
+//                      run (default bnb).
 #pragma once
 
 #include <cstdlib>
@@ -25,9 +35,12 @@
 #include <string>
 
 #include "core/corpus_runner.hpp"
+#include "sched/scheduler.hpp"
 #include "synth/corpus.hpp"
+#include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/metrics.hpp"
+#include "util/profiler.hpp"
 #include "util/progress.hpp"
 #include "util/strings.hpp"
 #include "util/trace.hpp"
@@ -70,6 +83,12 @@ inline CorpusRunOptions paper_run_options(std::uint64_t lambda = 50000) {
   if (const char* env = std::getenv("PS_RESULT_CACHE")) {
     if (env[0] != '\0') options.search.result_cache_path = env;
   }
+  if (const char* env = std::getenv("PS_BACKEND")) {
+    if (env[0] != '\0') {
+      PS_CHECK(parse_optimal_backend(env, &options.search.backend),
+               "PS_BACKEND must be bnb, cp, or portfolio");
+    }
+  }
   return options;
 }
 
@@ -94,9 +113,31 @@ inline std::vector<RunRecord> run_paper_corpus(
   if (trace_path && trace_path[0] != '\0') trace_enable();
   const char* metrics_path = std::getenv("PS_METRICS");
   if (metrics_path && metrics_path[0] != '\0') metrics_enable();
+  const char* profile_path = std::getenv("PS_PROFILE");
+  const bool profiling = profile_path && profile_path[0] != '\0';
+  if (const char* env = std::getenv("PS_WATCHDOG"); env && env[0] != '\0') {
+    const double seconds = std::atof(env);
+    if (seconds > 0) {
+      watchdog_enable(seconds, profiling
+                                   ? std::string(profile_path) + ".stall.json"
+                                   : std::string());
+    }
+  }
+  if (profiling) profiler_enable();
 
   std::vector<RunRecord> records =
       run_corpus(corpus_params(spec), run_options);
+
+  if (profiling) {
+    profiler_disable();
+    profiler_write_collapsed(profile_path);
+    std::cerr << "profile: " << profiler_total_samples()
+              << " samples written to " << profile_path
+              << " (collapsed-stack format)\n";
+    const std::string table = profiler_phase_table();
+    if (!table.empty()) std::cerr << table;
+  }
+  watchdog_disable();
 
   if (trace_path && trace_path[0] != '\0') {
     trace_disable();

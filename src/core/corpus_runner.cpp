@@ -8,6 +8,7 @@
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/metrics.hpp"
+#include "util/profiler.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -99,11 +100,15 @@ std::vector<RunRecord> run_corpus(const std::vector<GeneratorParams>& params,
     // Per-block span on the worker's own track: the timeline shows which
     // worker ran which block and how the pool's load balanced.
     PS_TRACE_SPAN("corpus_block");
+    PS_PROF_PHASE("corpus_block");
     MetricTimer block_timer(block_seconds);
     RunRecord& record = records[i];
     BasicBlock block;
     try {
-      block = generate_block(params[i]);
+      {
+        PS_PROF_PHASE("generate");
+        block = generate_block(params[i]);
+      }
       record.block_size = static_cast<int>(block.size());
       if (block.empty()) {
         // Fully optimized away; trivially optimal.

@@ -10,6 +10,7 @@
 
 #include "sched/list_scheduler.hpp"
 #include "util/check.hpp"
+#include "util/profiler.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
 
@@ -29,6 +30,12 @@ class CpSearch {
 
   ScheduleResult run() {
     PS_TRACE_SPAN("cp_search");
+    PS_PROF_PHASE("cp");
+    SearchMonitor monitor("cp");
+    monitor_ = &monitor;
+    // One enabled-check per solve; dfs()'s per-cycle markers test this
+    // plain pointer instead of re-loading the atomic enable flag.
+    prof_ = profiler_active_stack();
     Timer wall;
     ScheduleResult result;
     SearchStats& stats = result.stats;
@@ -72,6 +79,7 @@ class CpSearch {
       // of the constructive cap (which would mean probing ~n*S horizons,
       // each an exhaustive failure, on infeasible instances).
       std::vector<TupleIndex> repaired;
+      PS_PROF_PHASE("pressure_feasibility");
       if (pressure_feasible_order(&repaired)) {
         seed = repaired;
         candidates_by_seed_ = seed;
@@ -111,7 +119,14 @@ class CpSearch {
          horizon >= t_lb;
          horizon = static_cast<int>(n_) + best_cost - 1) {
       reset_probe(horizon);
-      if (!dfs(1)) {
+      bool probe_ok;
+      {
+        // Pushed once per probe, outside the dfs recursion (markers must
+        // never stack with search depth).
+        PS_PROF_PHASE("probe_descent");
+        probe_ok = dfs(1);
+      }
+      if (!probe_ok) {
         // A genuine refutation proves the incumbent optimal; a
         // curtailment (completed=false, set by record_curtail) leaves it
         // standing but unproven. Either way probing is over.
@@ -121,6 +136,7 @@ class CpSearch {
       best_order = order_;
       best_group = group_of_;
       best_cost = nops_used_;
+      stats.best_nops = best_cost;  // keep the heartbeat incumbent honest
       stats.schedules_examined += 1;
       stats.incumbent_improvements += 1;
     }
@@ -310,6 +326,34 @@ class CpSearch {
     if (has_deadline_ && !deadline_expired_ &&
         std::chrono::steady_clock::now() >= deadline_at_) {
       deadline_expired_ = true;
+    }
+    emit_heartbeat();
+  }
+
+  /// CP twin of the B&B heartbeat, on the same 1,024-expansion tick:
+  /// trace counters when tracing is on (they self-gate), and the
+  /// flight-recorder ring unconditionally so the stall watchdog sees
+  /// untraced probes too. The hit rate is the delta since the previous
+  /// heartbeat, matching the B&B semantics.
+  void emit_heartbeat() {
+    trace_counter("search/nodes_expanded",
+                  static_cast<double>(stats_->nodes_expanded));
+    trace_counter("search/incumbent_nops",
+                  static_cast<double>(stats_->best_nops));
+    double hit_pct = 0;
+    if (stats_->cache_probes > hb_prev_probes_) {
+      hit_pct = 100.0 *
+                static_cast<double>(stats_->cache_hits - hb_prev_hits_) /
+                static_cast<double>(stats_->cache_probes - hb_prev_probes_);
+      trace_counter("search/cache_hit_pct", hit_pct);
+      hb_prev_probes_ = stats_->cache_probes;
+      hb_prev_hits_ = stats_->cache_hits;
+    }
+    trace_counter("search/depth", static_cast<double>(order_.size()));
+    if (monitor_ != nullptr) {
+      monitor_->heartbeat(stats_->nodes_expanded, stats_->best_nops,
+                          static_cast<std::uint32_t>(order_.size()),
+                          hit_pct);
     }
   }
 
@@ -530,43 +574,46 @@ class CpSearch {
     // start before the horizon; one whose latest start IS this cycle
     // owns it.
     TupleIndex forced = -1;
-    std::fill(unit_pending_.begin(), unit_pending_.end(), 0);
-    std::fill(unit_max_lst_.begin(), unit_max_lst_.end(), 0);
-    for (std::size_t i = 0; i < n_; ++i) {
-      if (cycle_of_[i] >= 0) continue;
-      int est = std::max(cycle, est0_[i]);
-      for (TupleIndex p : dag_.preds(static_cast<TupleIndex>(i))) {
-        const auto pi = static_cast<std::size_t>(p);
-        est = std::max(est, cycle_of_[pi] >= 0
-                                ? cycle_of_[pi] + lat_of_[pi]
-                                : est_dyn_[pi] + edge_w_[pi]);
+    {
+      PS_PROF_PHASE_AT(prof_, "propagate");
+      std::fill(unit_pending_.begin(), unit_pending_.end(), 0);
+      std::fill(unit_max_lst_.begin(), unit_max_lst_.end(), 0);
+      for (std::size_t i = 0; i < n_; ++i) {
+        if (cycle_of_[i] >= 0) continue;
+        int est = std::max(cycle, est0_[i]);
+        for (TupleIndex p : dag_.preds(static_cast<TupleIndex>(i))) {
+          const auto pi = static_cast<std::size_t>(p);
+          est = std::max(est, cycle_of_[pi] >= 0
+                                  ? cycle_of_[pi] + lat_of_[pi]
+                                  : est_dyn_[pi] + edge_w_[pi]);
+        }
+        est_dyn_[i] = est;
+        const int lst = horizon_ - tail_[i];
+        if (est > lst || (lst == cycle && forced >= 0)) {
+          ++stats_->pruned_window;
+          return false;
+        }
+        if (lst == cycle) forced = static_cast<TupleIndex>(i);
+        if (sole_unit_[i] != kNoPipeline) {
+          const auto u = static_cast<std::size_t>(sole_unit_[i]);
+          ++unit_pending_[u];
+          unit_max_lst_[u] = std::max(unit_max_lst_[u], lst);
+        }
       }
-      est_dyn_[i] = est;
-      const int lst = horizon_ - tail_[i];
-      if (est > lst || (lst == cycle && forced >= 0)) {
-        ++stats_->pruned_window;
-        return false;
-      }
-      if (lst == cycle) forced = static_cast<TupleIndex>(i);
-      if (sole_unit_[i] != kNoPipeline) {
-        const auto u = static_cast<std::size_t>(sole_unit_[i]);
-        ++unit_pending_[u];
-        unit_max_lst_[u] = std::max(unit_max_lst_[u], lst);
-      }
-    }
-    // Capacity propagation: k unplaced ops bound to one unit issue there
-    // at enqueue-interval spacing, the first no earlier than the unit
-    // frees up, the last no later than the loosest of their windows; an
-    // overshoot is a horizon violation (window prune).
-    for (std::size_t u = 0; u < unit_pending_.size(); ++u) {
-      const int k = unit_pending_[u];
-      if (k == 0) continue;
-      const auto unit = static_cast<PipelineId>(u);
-      const int start = std::max(cycle, unit_avail(unit));
-      if (start + (k - 1) * machine_.pipeline(unit).enqueue >
-          unit_max_lst_[u]) {
-        ++stats_->pruned_window;
-        return false;
+      // Capacity propagation: k unplaced ops bound to one unit issue
+      // there at enqueue-interval spacing, the first no earlier than the
+      // unit frees up, the last no later than the loosest of their
+      // windows; an overshoot is a horizon violation (window prune).
+      for (std::size_t u = 0; u < unit_pending_.size(); ++u) {
+        const int k = unit_pending_[u];
+        if (k == 0) continue;
+        const auto unit = static_cast<PipelineId>(u);
+        const int start = std::max(cycle, unit_avail(unit));
+        if (start + (k - 1) * machine_.pipeline(unit).enqueue >
+            unit_max_lst_[u]) {
+          ++stats_->pruned_window;
+          return false;
+        }
       }
     }
 
@@ -579,6 +626,7 @@ class CpSearch {
     // next probe.
     std::string state;
     if (config_.dominance_cache) {
+      PS_PROF_PHASE_AT(prof_, "memo_probe");
       state = state_key(cycle);
       ++stats_->cache_probes;
       const auto it = failed_states_.find(state);
@@ -770,6 +818,12 @@ class CpSearch {
   bool deadline_expired_ = false;
   bool cancelled_ = false;
   std::chrono::steady_clock::time_point deadline_at_{};
+
+  // Observability: flight recorder + heartbeat-delta baselines.
+  SearchMonitor* monitor_ = nullptr;
+  prof_detail::PhaseStack* prof_ = nullptr;  ///< captured once per run()
+  std::uint64_t hb_prev_probes_ = 0;
+  std::uint64_t hb_prev_hits_ = 0;
 };
 
 }  // namespace

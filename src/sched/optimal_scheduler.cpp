@@ -14,6 +14,7 @@
 #include "util/check.hpp"
 #include "util/dominance_cache.hpp"
 #include "util/metrics.hpp"
+#include "util/profiler.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
@@ -99,6 +100,13 @@ class Search {
 
   OptimalResult run() {
     PS_TRACE_SPAN("optimal_search");
+    PS_PROF_PHASE("bnb");
+    SearchMonitor monitor("bnb");
+    monitor_ = &monitor;
+    // One enabled-check for the whole search: descend()'s hot-loop
+    // markers test this plain pointer instead of the atomic enable flag
+    // (measurably cheaper in the ~200ns/placement candidate loop).
+    prof_ = profiler_active_stack();
     Timer wall;
     if (config_.deadline_seconds > 0) {
       has_deadline_ = true;
@@ -134,10 +142,23 @@ class Search {
 
     best_schedule_ = &result.best;
     stats_ = &result.stats;
-    if (n_ > 0 && best_nops_ > 0) descend();
-    // Every traced search contributes at least one heartbeat sample, even
-    // when it finishes well inside the first 1,024-expansion tick.
-    if (trace_enabled()) emit_heartbeat();
+    if (n_ > 0 && best_nops_ > 0) {
+      if (prof_ != nullptr) {
+        descend<true>();
+      } else {
+        descend<false>();
+      }
+    }
+    // Every OBSERVED search contributes at least one heartbeat, even when
+    // it finishes well inside the first 1,024-expansion tick. Gated on an
+    // observer actually existing (tracing, profiling, or an armed
+    // watchdog): the periodic slow_tick() feed stays unconditional, but a
+    // sub-tick search in a fully dark run skips the clock read + ring
+    // push — a measurable per-block constant on ~50us corpus blocks.
+    if (trace_enabled() || profiler_enabled() || watchdog_enabled()) {
+      emit_heartbeat();
+    }
+    monitor_ = nullptr;
     // An infeasible search found no schedule within the pressure ceiling;
     // `best` is still the (infeasible) seed, kept for diagnostics, but the
     // reported cost must not look like a real optimum.
@@ -169,6 +190,11 @@ class Search {
     shared_ = shared;
     shared_cache_ = cache;
   }
+
+  /// Feed this ledger's heartbeats into a flight recorder. One monitor is
+  /// shared by every worker of a parallel search: any worker's heartbeat
+  /// proves the search as a whole is expanding nodes.
+  void attach_monitor(SearchMonitor* monitor) { monitor_ = monitor; }
 
   /// Bind a stats ledger and rebuild the per-search tables from the seed
   /// order. In shared mode `feasible` starts false ("no complete schedule
@@ -304,6 +330,8 @@ class Search {
   SearchStats run_subtree(const std::vector<TupleIndex>& seed,
                           const Prefix& prefix) {
     PS_TRACE_SPAN("search_subtree");
+    PS_PROF_PHASE("bnb");
+    prof_ = profiler_active_stack();  // this worker thread's stack
     Timer wall;
     SearchStats stats;
     prepare(seed, &stats);
@@ -311,7 +339,11 @@ class Search {
       // Replaying the prefix is bookkeeping, not search: its omega calls
       // were counted when the frontier pass created these children.
       for (const PrefixStep& s : prefix) replay_step(s);
-      descend();
+      if (prof_ != nullptr) {
+        descend<true>();
+      } else {
+        descend<false>();
+      }
     } else if (curtailed()) {
       record_curtail();
     }
@@ -438,7 +470,7 @@ class Search {
   }
 
   /// Cold path of the per-node bookkeeping, reached every 1,024
-  /// expansions: the amortized wall-clock deadline check, with the trace
+  /// expansions: the amortized wall-clock deadline check, with the
   /// heartbeat piggybacked on the same tick so instrumentation adds no
   /// second periodic branch to the hot loop.
   void slow_tick() {
@@ -452,7 +484,7 @@ class Search {
                std::chrono::steady_clock::now() >= deadline_at_) {
       deadline_expired_ = true;
     }
-    if (trace_enabled()) emit_heartbeat();
+    emit_heartbeat();
   }
 
   /// Sampled counter tracks that make a stuck or exploding search
@@ -465,6 +497,11 @@ class Search {
   /// long-run average precisely when a long search is the thing being
   /// diagnosed, while the per-interval delta shows the cache going cold
   /// (or hot) as the walk moves between regions of the tree.
+  ///
+  /// Runs unconditionally (tracing off included): the same snapshot also
+  /// feeds the flight-recorder ring that the stall watchdog reads, and a
+  /// watchdog blind in untraced runs would be useless exactly where it
+  /// matters. Trace-event output stays gated inside trace_counter().
   void emit_heartbeat() {
     trace_counter("search/nodes_expanded",
                   static_cast<double>(stats_->nodes_expanded));
@@ -481,14 +518,21 @@ class Search {
       probes = cs.probes;
       hits = cs.hits;
     }
+    double hit_pct = 0;
     if (probes > hb_prev_probes_) {
-      trace_counter("search/cache_hit_pct",
-                    100.0 * static_cast<double>(hits - hb_prev_hits_) /
-                        static_cast<double>(probes - hb_prev_probes_));
+      hit_pct = 100.0 * static_cast<double>(hits - hb_prev_hits_) /
+                static_cast<double>(probes - hb_prev_probes_);
+      trace_counter("search/cache_hit_pct", hit_pct);
       hb_prev_probes_ = probes;
       hb_prev_hits_ = hits;
     }
     trace_counter("search/depth", static_cast<double>(timer_.depth()));
+    if (monitor_ != nullptr) {
+      monitor_->heartbeat(stats_->nodes_expanded,
+                          best_nops_ < kInfiniteCost ? best_nops_ : -1,
+                          static_cast<std::uint32_t>(timer_.depth()),
+                          hit_pct);
+    }
   }
 
   /// Cooperative cancellation through SearchConfig::cancel (how the
@@ -696,6 +740,12 @@ class Search {
     return StateKey{h, h2};
   }
 
+  /// The recursion is instantiated twice: kProf=false is the everyday
+  /// build with every phase marker constant-folded away (profiling off
+  /// must cost nothing in the ~200ns/placement loop), kProf=true carries
+  /// the markers. run()/run_subtree() pick the instantiation once per
+  /// search from the captured prof_ pointer.
+  template <bool kProf>
   void descend() {
     ++stats_->nodes_expanded;
     // Amortized slow work (deadline clock read, trace heartbeat) runs
@@ -713,12 +763,14 @@ class Search {
       ++stats_->schedules_examined;
       stats_->feasible = true;
       if (shared_) {
+        PS_PROF_PHASE_AT(kProf ? prof_ : nullptr, "incumbent_publish");
         publish_leaf();
         return;
       }
       // Alpha-beta guarantees we only reach completion strictly below the
       // incumbent (when enabled); compare anyway for the ablation modes.
       if (timer_.total_nops() < best_nops_) {
+        PS_PROF_PHASE_AT(kProf ? prof_ : nullptr, "incumbent_publish");
         best_nops_ = timer_.total_nops();
         *best_schedule_ = timer_.snapshot();
         ++stats_->incumbent_improvements;
@@ -737,6 +789,7 @@ class Search {
     // BEFORE the subtree is explored, and a curtailed exploration flips
     // the whole result to possibly-suboptimal anyway.
     if (timer_.depth() > 0) {
+      PS_PROF_PHASE_AT(kProf ? prof_ : nullptr, "dominance_probe");
       if (shared_cache_) {
         const StateKey sk = state_key();
         if (shared_cache_->probe_and_update(sk.key, sk.verify,
@@ -784,27 +837,34 @@ class Search {
         record_curtail();
         return;
       }
-      if (timer_.is_placed(candidate)) continue;
-      if (unplaced_preds_[static_cast<std::size_t>(candidate)] != 0) {
-        ++stats_->pruned_readiness;  // rule [5b]
-        continue;
-      }
-      if (forced >= 0 && candidate != forced) {
-        ++stats_->pruned_window;  // rule [5a]
-        continue;
-      }
-      if (pressure_blocks(candidate)) {
-        ++stats_->pruned_pressure;
-        continue;
-      }
-
-      if (config_.equivalence_prune) {
-        const int cls = classes_[static_cast<std::size_t>(candidate)];
-        if (tried_classes[static_cast<std::size_t>(cls)]) {
-          ++stats_->pruned_equivalence;  // rule [5c]
+      {
+        // Rules [5a]-[5c] + pressure: the per-candidate filters. The
+        // marker scope ends before the group loop so the push/descend/
+        // undo work below is attributed to its own phases (and never
+        // stacks under the recursion).
+        PS_PROF_PHASE_AT(kProf ? prof_ : nullptr, "candidate_filter");
+        if (timer_.is_placed(candidate)) continue;
+        if (unplaced_preds_[static_cast<std::size_t>(candidate)] != 0) {
+          ++stats_->pruned_readiness;  // rule [5b]
           continue;
         }
-        tried_classes[static_cast<std::size_t>(cls)] = true;
+        if (forced >= 0 && candidate != forced) {
+          ++stats_->pruned_window;  // rule [5a]
+          continue;
+        }
+        if (pressure_blocks(candidate)) {
+          ++stats_->pruned_pressure;
+          continue;
+        }
+
+        if (config_.equivalence_prune) {
+          const int cls = classes_[static_cast<std::size_t>(candidate)];
+          if (tried_classes[static_cast<std::size_t>(cls)]) {
+            ++stats_->pruned_equivalence;  // rule [5c]
+            continue;
+          }
+          tried_classes[static_cast<std::size_t>(cls)] = true;
+        }
       }
 
       // Branch over the candidate's unit-signature groups (footnote 3's
@@ -818,16 +878,21 @@ class Search {
           record_curtail();
           return;
         }
-        count_omega();
-        if (groups.empty()) {
-          timer_.push(candidate);
-        } else {
-          timer_.push(candidate, groups[g]);
-        }
-        toggle_scheduled(candidate);
-        pressure_push(candidate);
-        for (TupleIndex s : dag_.succs(candidate)) {
-          --unplaced_preds_[static_cast<std::size_t>(s)];
+        {
+          // Omega's incremental append: the placement itself plus every
+          // piece of state pushed alongside it.
+          PS_PROF_PHASE_AT(kProf ? prof_ : nullptr, "omega_append");
+          count_omega();
+          if (groups.empty()) {
+            timer_.push(candidate);
+          } else {
+            timer_.push(candidate, groups[g]);
+          }
+          toggle_scheduled(candidate);
+          pressure_push(candidate);
+          for (TupleIndex s : dag_.succs(candidate)) {
+            --unplaced_preds_[static_cast<std::size_t>(s)];
+          }
         }
 
         bool keep = true;
@@ -835,19 +900,25 @@ class Search {
           keep = false;  // rule [6]
           ++stats_->pruned_alpha_beta;
         }
-        if (keep && config_.lower_bound_prune &&
-            completion_lower_bound() - static_cast<int>(n_) >= best_nops_) {
-          keep = false;
-          ++stats_->pruned_lower_bound;
+        if (keep && config_.lower_bound_prune) {
+          PS_PROF_PHASE_AT(kProf ? prof_ : nullptr, "lower_bound");
+          if (completion_lower_bound() - static_cast<int>(n_) >=
+              best_nops_) {
+            keep = false;
+            ++stats_->pruned_lower_bound;
+          }
         }
-        if (keep) descend();
+        if (keep) descend<kProf>();
 
-        for (TupleIndex s : dag_.succs(candidate)) {
-          ++unplaced_preds_[static_cast<std::size_t>(s)];
+        {
+          PS_PROF_PHASE_AT(kProf ? prof_ : nullptr, "omega_undo");
+          for (TupleIndex s : dag_.succs(candidate)) {
+            ++unplaced_preds_[static_cast<std::size_t>(s)];
+          }
+          pressure_pop(candidate);
+          toggle_scheduled(candidate);
+          timer_.pop();
         }
-        pressure_pop(candidate);
-        toggle_scheduled(candidate);
-        timer_.pop();
 
         if (!stats_->completed) return;    // curtailed deeper in the tree
         if (best_nops_ == 0) return;       // cannot improve on zero NOPs
@@ -888,6 +959,9 @@ class Search {
   // branch (the 1-thread search stays bit-identical to previous releases).
   SharedSearch* shared_ = nullptr;
   ShardedDominanceCache* shared_cache_ = nullptr;
+  SearchMonitor* monitor_ = nullptr;  ///< flight recorder (may be null)
+  prof_detail::PhaseStack* prof_ = nullptr;  ///< this thread's phase stack
+                                             ///< (null = profiler off)
   DominanceCacheStats cache_ledger_;   // this worker's exact cache traffic
   std::uint64_t omega_unflushed_ = 0;  // local tail of the global ledger
   std::uint64_t hb_prev_probes_ = 0;   // heartbeat-delta baselines
@@ -910,6 +984,8 @@ OptimalResult run_parallel(const Machine& machine, const DepGraph& dag,
                            const PipelineState& initial,
                            std::size_t threads) {
   PS_TRACE_SPAN("optimal_search");
+  PS_PROF_PHASE("bnb");
+  SearchMonitor monitor("bnb");
   Timer wall;
   OptimalResult result;
   result.parallel.emplace();
@@ -946,6 +1022,7 @@ OptimalResult run_parallel(const Machine& machine, const DepGraph& dag,
   // stay out of it).
   Search builder(machine, dag, config, initial);
   builder.attach_shared(&shared, nullptr);
+  builder.attach_monitor(&monitor);
   builder.prepare(seed, &detail.frontier);
   detail.frontier.initial_nops = seed_nops;
 
@@ -968,6 +1045,7 @@ OptimalResult run_parallel(const Machine& machine, const DepGraph& dag,
   const std::size_t target = threads * 8;
   bool split_ok = true;
   if (n > 0 && shared.best_nops.load(std::memory_order_relaxed) > 0) {
+    PS_PROF_PHASE("frontier_split");
     queue.push_back({});
     while (split_ok && !queue.empty() && queue.size() < target) {
       Prefix prefix = std::move(queue.front());
@@ -992,6 +1070,7 @@ OptimalResult run_parallel(const Machine& machine, const DepGraph& dag,
       Search worker(machine, dag, config, initial);
       worker.attach_shared(&shared,
                            shared_cache ? &*shared_cache : nullptr);
+      worker.attach_monitor(&monitor);
       detail.subtrees[i] = worker.run_subtree(seed, subtrees[i]);
     });
   }

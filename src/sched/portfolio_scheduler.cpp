@@ -8,6 +8,7 @@
 #include "sched/optimal_scheduler.hpp"
 #include "util/check.hpp"
 #include "util/metrics.hpp"
+#include "util/profiler.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -41,6 +42,9 @@ ScheduleResult portfolio_schedule(const Machine& machine, const DepGraph& dag,
     ThreadPool pool(2, "portfolio-");
     pool.submit([&] {
       try {
+        // The racer's own samples land under "portfolio;bnb;...": the
+        // profile separates race overhead from the backends' search work.
+        PS_PROF_PHASE("portfolio");
         SearchConfig cfg = config;
         cfg.backend = OptimalBackend::Bnb;
         cfg.cancel = &cancel[0];
@@ -56,6 +60,7 @@ ScheduleResult portfolio_schedule(const Machine& machine, const DepGraph& dag,
     });
     pool.submit([&] {
       try {
+        PS_PROF_PHASE("portfolio");
         SearchConfig cfg = config;
         cfg.backend = OptimalBackend::Cp;
         cfg.cancel = &cancel[1];

@@ -13,6 +13,7 @@
 #include "sched/portfolio_scheduler.hpp"
 #include "util/check.hpp"
 #include "util/metrics.hpp"
+#include "util/profiler.hpp"
 #include "util/timer.hpp"
 
 namespace pipesched {
@@ -124,10 +125,17 @@ ScheduleResult run_optimal_backend(const Machine& machine, const DepGraph& dag,
   Timer lookup_timer;
   const std::shared_ptr<ResultCache> cache =
       ResultCache::open_shared(config.result_cache_path);
-  const std::string canonical =
-      ResultCache::canonical_form(machine, dag, config, initial);
+  std::string canonical;
   CachedSchedule cached;
-  if (cache->lookup(canonical, &cached)) {
+  bool hit = false;
+  {
+    // Canonicalization + the verified probe are the cache's whole cost on
+    // a warm run; the profile shows whether they ever rival the search.
+    PS_PROF_PHASE("result_cache_lookup");
+    canonical = ResultCache::canonical_form(machine, dag, config, initial);
+    hit = cache->lookup(canonical, &cached);
+  }
+  if (hit) {
     ScheduleResult result;
     result.schedule = std::move(cached.schedule);
     result.stats.completed = true;
@@ -147,6 +155,7 @@ ScheduleResult run_optimal_backend(const Machine& machine, const DepGraph& dag,
   // the same canonical form. Curtailed or infeasible results are never
   // stored.
   if (result.stats.completed && result.stats.feasible) {
+    PS_PROF_PHASE("result_cache_store");
     CachedSchedule to_store;
     to_store.initial_nops = result.stats.initial_nops;
     to_store.best_nops = result.stats.best_nops;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -420,6 +421,36 @@ MetricsSnapshot metrics_snapshot() {
               return a.labels < b.labels;
             });
   return snapshot;
+}
+
+double histogram_quantile(const MetricsSnapshot::Series& series, double q) {
+  if (series.kind != MetricsSnapshot::Kind::Histogram ||
+      series.count == 0 || series.buckets.empty() || !(q >= 0) || q > 1) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  // Rank of the target observation among `count` (1-based, like
+  // Prometheus histogram_quantile); buckets are cumulative.
+  const double rank = q * static_cast<double>(series.count);
+  std::size_t bucket = 0;
+  while (bucket + 1 < series.buckets.size() &&
+         static_cast<double>(series.buckets[bucket]) < rank) {
+    ++bucket;
+  }
+  const int last = static_cast<int>(series.buckets.size()) - 1;
+  if (static_cast<int>(bucket) >= last) {
+    // Overflow bucket has no finite upper bound; report the largest
+    // finite boundary (Prometheus does the same).
+    return LogHistogram::bucket_le(last - 1);
+  }
+  const double hi = LogHistogram::bucket_le(static_cast<int>(bucket));
+  const double lo =
+      bucket == 0 ? 0.0 : LogHistogram::bucket_le(static_cast<int>(bucket) - 1);
+  const std::uint64_t below = bucket == 0 ? 0 : series.buckets[bucket - 1];
+  const std::uint64_t in_bucket = series.buckets[bucket] - below;
+  if (in_bucket == 0) return hi;
+  const double frac =
+      (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+  return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
 }
 
 void MetricsSnapshot::write_prometheus(std::ostream& out) const {

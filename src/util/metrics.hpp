@@ -223,6 +223,15 @@ struct MetricsSnapshot {
 
 MetricsSnapshot metrics_snapshot();
 
+/// Prometheus-style quantile estimate from a snapshot histogram series:
+/// find the bucket where the q-th observation lands and interpolate
+/// linearly within it (log2 buckets, so the estimate is within a factor
+/// of 2 of exact — the same accuracy contract Prometheus gives).
+/// `q` in [0, 1]; returns NaN for a non-histogram series or zero count,
+/// and the largest finite bucket bound when the quantile falls in the
+/// +Inf overflow bucket.
+double histogram_quantile(const MetricsSnapshot::Series& series, double q);
+
 /// Write a snapshot to `path`, format chosen by extension: ".prom" (or
 /// ".txt") = Prometheus text, ".json" = JSON. Throws Error on an unknown
 /// extension or write failure.

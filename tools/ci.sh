@@ -40,7 +40,8 @@ cmake -B build-ci-tsan -S . \
   -DPIPESCHED_SANITIZE=thread
 echo "==== building build-ci-tsan (concurrency tests) ===="
 cmake --build build-ci-tsan -j "${jobs}" \
-  --target test_parallel_search test_util test_portfolio test_result_cache
+  --target test_parallel_search test_util test_portfolio test_result_cache \
+  test_profiler
 echo "==== TSan: parallel frontier-split search ===="
 ./build-ci-tsan/tests/test_parallel_search
 echo "==== TSan: thread pool ===="
@@ -50,6 +51,8 @@ echo "==== TSan: portfolio racing (stop-flag cancellation) ===="
 echo "==== TSan: result cache (concurrent readers during appends) ===="
 ./build-ci-tsan/tests/test_result_cache \
   --gtest_filter='ResultCacheConcurrency.*'
+echo "==== TSan: sampling profiler (sampler racing annotated workers) ===="
+./build-ci-tsan/tests/test_profiler
 
 # Traced corpus smoke, in BOTH configurations: a small corpus run with
 # PS_TRACE must produce well-formed Chrome trace-event JSON (validated
@@ -113,6 +116,53 @@ metrics_smoke() {
 
 metrics_smoke build-ci-release
 metrics_smoke build-ci-sanitize
+
+# Profiled corpus smoke, in BOTH configurations: a small corpus run with
+# PS_PROFILE must produce a non-empty collapsed-stack file in which every
+# line is "phase[;subphase...] count" (the format flamegraph.pl consumes)
+# with the annotated top-level phases present, and psc --profile /
+# --watchdog-seconds must run a compile end to end and write the profile
+# file (a sub-millisecond compile may legitimately collect zero samples —
+# the file just ends up empty).
+profiled_smoke() {
+  local build="$1"
+  echo "==== profiled corpus smoke (${build}) ===="
+  local dir
+  dir="$(mktemp -d)"
+  (cd "${dir}" && \
+    PS_CORPUS_RUNS=200 PS_PROFILE="${dir}/corpus.folded" \
+    PS_WATCHDOG=60 \
+    "${OLDPWD}/${build}/bench/bench_table7" > /dev/null)
+  test -s "${dir}/corpus.folded"
+  if grep -Evq '^[A-Za-z0-9_;]+ [0-9]+$' "${dir}/corpus.folded"; then
+    echo "FAIL: malformed collapsed-stack line in corpus.folded:" >&2
+    grep -Ev '^[A-Za-z0-9_;]+ [0-9]+$' "${dir}/corpus.folded" >&2
+    exit 1
+  fi
+  grep -q '^corpus_block' "${dir}/corpus.folded"
+  echo "x = a * b + c; y = x / d;" | \
+    "./${build}/tools/psc" --profile "${dir}/psc.folded" \
+    --watchdog-seconds 60 --stats > /dev/null 2> "${dir}/psc_stats.log"
+  test -f "${dir}/psc.folded"
+  grep -q '; profile: ' "${dir}/psc_stats.log"
+  rm -rf "${dir}"
+}
+
+profiled_smoke build-ci-release
+profiled_smoke build-ci-sanitize
+
+# Stall-dump smoke: the watchdog test's stalled fake search writes its
+# flight-recorder dump where PS_TEST_STALL_JSON points; the file must
+# survive python's strict JSON parser and carry the ring + phase stacks.
+echo "==== watchdog stall JSON smoke (build-ci-release) ===="
+stall_dir="$(mktemp -d)"
+PS_TEST_STALL_JSON="${stall_dir}/stall.json" \
+  ./build-ci-release/tests/test_profiler \
+  --gtest_filter='ProfilerTest.WatchdogDumpsStalledSearchOnceAndSparesProgress'
+python3 -m json.tool "${stall_dir}/stall.json" > /dev/null
+grep -q '"ring"' "${stall_dir}/stall.json"
+grep -q '"phase_stacks"' "${stall_dir}/stall.json"
+rm -rf "${stall_dir}"
 
 # CLI argument validation smoke: malformed numeric flag values must be
 # rejected with a diagnostic and exit code 2 — never crash with an

@@ -29,6 +29,7 @@
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
 #include "util/metrics.hpp"
+#include "util/profiler.hpp"
 #include "util/progress.hpp"
 #include "util/strings.hpp"
 #include "util/trace.hpp"
@@ -92,7 +93,9 @@ output:
   --sim-trace           print the pipeline occupancy trace (ASCII)
   --stats               print search statistics (incl. per-prune-rule
                         counters, search throughput, the curtail
-                        reason, and a metrics snapshot line)
+                        reason, a metrics snapshot line, p50/p90/p99
+                        search-time quantiles when >1 search ran, and
+                        the profiler phase-share table under --profile)
   --csv <path>          write per-block search records as CSV
   --jsonl <path>        write per-block search records as JSON lines
 observability:
@@ -109,6 +112,19 @@ observability:
                         .prom/.txt = Prometheus text, .json = JSON
   --progress            live per-block progress on stderr (blocks
                         done/total, errors, blocks/s, ETA)
+  --profile <out.folded>
+                        sample every thread's phase stack at 997 Hz for
+                        the whole compile and write collapsed-stack lines
+                        ("phase;subphase count") to <out.folded> — feed
+                        straight to flamegraph.pl or speedscope. Adds a
+                        phase-share table to --stats. Worker overhead is
+                        two relaxed stores per annotated scope
+  --watchdog-seconds <s>
+                        arm the stall watchdog: any live search whose
+                        nodes-expanded heartbeat stops advancing for <s>
+                        seconds gets its flight-recorder ring, all phase
+                        stacks, and a metrics snapshot dumped to stderr
+                        (and <out.folded>.stall.json under --profile)
   --help
 )";
 
@@ -139,6 +155,8 @@ struct Args {
   bool progress = false;
   std::string trace_path;
   std::string metrics_path;
+  std::string profile_path;
+  double watchdog_seconds = 0;
   std::string csv_path;
   std::string jsonl_path;
 };
@@ -292,6 +310,15 @@ Args parse_args(int argc, char** argv) {
       args.trace_path = next();
     } else if (arg == "--metrics") {
       args.metrics_path = next();
+    } else if (arg == "--profile") {
+      args.profile_path = next();
+      if (args.profile_path.empty()) {
+        invalid_flag_value(arg, args.profile_path);
+      }
+    } else if (arg == "--watchdog-seconds") {
+      const std::string value = next();
+      args.watchdog_seconds = parse_double_flag(arg, value);
+      if (args.watchdog_seconds <= 0) invalid_flag_value(arg, value);
     } else if (arg == "--progress") {
       args.progress = true;
     } else if (arg == "--stats") {
@@ -309,6 +336,8 @@ Args parse_args(int argc, char** argv) {
   }
   return args;
 }
+
+void print_metrics_totals();
 
 void print_stats(const SearchStats& stats) {
   std::cerr << "; search: " << stats.omega_calls << " placements, "
@@ -357,9 +386,15 @@ void print_stats(const SearchStats& stats) {
               << stats.cache_superseded << " superseded, "
               << stats.nodes_expanded << " nodes expanded\n";
   }
+  print_metrics_totals();
+}
+
+/// Registry view of the run: process-wide totals (they equal the
+/// per-search stats summed over every search this process ran), plus
+/// search-time quantiles once several searches contributed. Shared by the
+/// single-block stats dump and the whole-program summary.
+void print_metrics_totals() {
   if (metrics_enabled()) {
-    // Registry view of the same run: process-wide totals (they equal the
-    // per-search stats summed over every search this process ran).
     const MetricsSnapshot snapshot = metrics_snapshot();
     std::cerr << "; metrics totals: "
               << static_cast<std::uint64_t>(
@@ -371,6 +406,17 @@ void print_stats(const SearchStats& stats) {
               << static_cast<std::uint64_t>(snapshot.value_or_zero(
                      "ps_search_incumbent_improvements_total"))
               << " incumbent improvements\n";
+    const MetricsSnapshot::Series* hist = snapshot.find("ps_search_seconds");
+    if (hist != nullptr && hist->count > 1) {
+      // Single-search compiles already print the exact wall time above;
+      // quantiles only say something new once several searches ran.
+      std::cerr << "; search seconds quantiles (" << hist->count
+                << " searches): p50 "
+                << compact_double(histogram_quantile(*hist, 0.50), 4)
+                << "s, p90 " << compact_double(histogram_quantile(*hist, 0.90), 4)
+                << "s, p99 " << compact_double(histogram_quantile(*hist, 0.99), 4)
+                << "s\n";
+    }
   }
 }
 
@@ -544,6 +590,7 @@ int run_compile(const Args& args) {
     std::cerr << "; program: " << result.blocks.size() << " blocks, "
               << result.total_instructions << " instructions, "
               << result.total_nops << " NOPs\n";
+    print_metrics_totals();
   }
   std::vector<RunRecord> records;
   for (const CompiledBlock& compiled : result.blocks) {
@@ -569,8 +616,34 @@ int run(int argc, char** argv) {
     }
   }
   if (!args.trace_path.empty()) trace_enable();
-  if (!args.metrics_path.empty()) metrics_enable();
+  // --stats derives its quantile rows and totals from the registry, so it
+  // needs collection on even when no --metrics file was requested.
+  if (!args.metrics_path.empty() || args.stats) metrics_enable();
+  if (args.watchdog_seconds > 0) {
+    watchdog_enable(args.watchdog_seconds,
+                    args.profile_path.empty() ? std::string()
+                                              : args.profile_path +
+                                                    ".stall.json");
+  }
+  if (!args.profile_path.empty()) profiler_enable();
   const int code = run_compile(args);
+  if (!args.profile_path.empty()) {
+    profiler_disable();  // stops sampling and flushes ps_profile_samples_total
+    profiler_write_collapsed(args.profile_path);
+    std::cerr << "; profile: " << profiler_total_samples()
+              << " samples written to " << args.profile_path
+              << " (collapsed-stack format for flamegraph.pl/speedscope)\n";
+    if (args.stats) {
+      const std::string table = profiler_phase_table();
+      if (!table.empty()) {
+        std::cerr << "; phase shares (sampled every "
+                  << compact_double(profiler_sample_period_seconds() * 1e3, 4)
+                  << "ms):\n"
+                  << table;
+      }
+    }
+  }
+  if (args.watchdog_seconds > 0) watchdog_disable();
   if (!args.trace_path.empty()) {
     trace_disable();
     trace_write_json(args.trace_path);
