@@ -26,7 +26,15 @@
 //                      recorder to stderr (and <PS_PROFILE>.stall.json
 //                      when PS_PROFILE is also set);
 //   PS_BACKEND=<bnb|cp|portfolio>  optimal-search backend for the corpus
-//                      run (default bnb).
+//                      run (default bnb);
+//   PS_SERVE=<port>    serve live observability endpoints (/metrics,
+//                      /healthz, /status, /profile?seconds=N, ...) on
+//                      127.0.0.1:<port> for the bench's whole lifetime;
+//                      0 picks an ephemeral port — the bound URL is
+//                      printed to stderr either way.
+// Every bench also handles SIGINT/SIGTERM gracefully: the PS_TRACE /
+// PS_METRICS / PS_PROFILE outputs are flushed (and the server stopped)
+// before the process exits with 128+signo.
 #pragma once
 
 #include <cstdlib>
@@ -35,10 +43,12 @@
 #include <string>
 
 #include "core/corpus_runner.hpp"
+#include "obs/http_exporter.hpp"
 #include "sched/scheduler.hpp"
 #include "synth/corpus.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
+#include "util/interrupt.hpp"
 #include "util/metrics.hpp"
 #include "util/profiler.hpp"
 #include "util/progress.hpp"
@@ -92,6 +102,27 @@ inline CorpusRunOptions paper_run_options(std::uint64_t lambda = 50000) {
   return options;
 }
 
+/// PS_SERVE: the bench's embedded observability server, started on the
+/// first call and kept alive for the whole process (a bench that runs
+/// several corpora serves them all; the server joins at exit). Null when
+/// the knob is unset. Benches have no setup phase worth gating /readyz
+/// on, so the server is marked ready immediately.
+inline HttpExporter* bench_http_exporter() {
+  static std::unique_ptr<HttpExporter> server = [] {
+    std::unique_ptr<HttpExporter> s;
+    if (const char* env = std::getenv("PS_SERVE"); env && env[0] != '\0') {
+      HttpExporterOptions options;
+      options.port = static_cast<std::uint16_t>(std::atoi(env));
+      s = std::make_unique<HttpExporter>(options);
+      s->set_ready(true);
+      std::cerr << "bench: serving observability endpoints on "
+                << s->base_url() << "\n";
+    }
+    return s;
+  }();
+  return server.get();
+}
+
 /// Run the standard corpus once (shared by the figure benches), honoring
 /// the PS_TRACE / PS_PROGRESS observability knobs. A bench that runs
 /// several corpora overwrites PS_TRACE's file each time — the trace
@@ -100,6 +131,28 @@ inline std::vector<RunRecord> run_paper_corpus(
     int runs, const CorpusRunOptions& options) {
   CorpusSpec spec;
   spec.total_runs = runs;
+
+  // Interrupt handling first: the blocked signal mask must be in place
+  // before the server/profiler/pool spawn threads that inherit it.
+  install_graceful_interrupt([](int) {
+    if (HttpExporter* s = bench_http_exporter()) s->stop();
+    progress_finish_all();
+    if (const char* p = std::getenv("PS_PROFILE");
+        p && p[0] != '\0' && profiler_enabled()) {
+      profiler_disable();
+      profiler_write_collapsed(p);
+    }
+    if (const char* p = std::getenv("PS_TRACE");
+        p && p[0] != '\0' && trace_enabled()) {
+      trace_disable();
+      trace_write_json(p);
+    }
+    if (const char* p = std::getenv("PS_METRICS"); p && p[0] != '\0') {
+      metrics_disable();
+      metrics_write(p);
+    }
+  });
+  bench_http_exporter();
 
   CorpusRunOptions run_options = options;
   std::unique_ptr<ProgressReporter> progress;

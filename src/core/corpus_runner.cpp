@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "ir/dag.hpp"
@@ -73,6 +74,16 @@ std::vector<RunRecord> run_corpus(const std::vector<GeneratorParams>& params,
   std::vector<RunRecord> records(params.size());
   ThreadPool pool(options.threads);
 
+  // Always keep a live ProgressReporter: when the caller did not pass
+  // one, a silent (snapshot-only) reporter still feeds the obs HTTP
+  // server's /status endpoint with done/total/errors/rate for this run.
+  std::unique_ptr<ProgressReporter> silent_progress;
+  ProgressReporter* progress = options.progress;
+  if (progress == nullptr) {
+    silent_progress = std::make_unique<ProgressReporter>(params.size());
+    progress = silent_progress.get();
+  }
+
   // Nested-parallelism policy: a corpus with many blocks already keeps
   // every pool worker busy, so intra-search threads would only multiply
   // oversubscription (threads x search_threads runnable threads fighting
@@ -136,9 +147,9 @@ std::vector<RunRecord> run_corpus(const std::vector<GeneratorParams>& params,
                         1));
     }
     (record.error.empty() ? blocks_ok : blocks_errored).increment();
-    if (options.progress) options.progress->add(!record.error.empty());
+    progress->add(!record.error.empty());
   });
-  if (options.progress) options.progress->finish();
+  progress->finish();
   return records;
 }
 

@@ -1,0 +1,556 @@
+#include "obs/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/build_info.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/metrics.hpp"
+#include "util/profiler.hpp"
+#include "util/progress.hpp"
+
+namespace pipesched {
+namespace {
+
+/// Whole request head (request line + headers) must fit in this budget;
+/// anything longer is rejected with 431 before we buffer more.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+/// Accepted-but-unserved connections queue up to this depth; beyond it
+/// the accept loop sheds (closes) new connections so a scrape storm
+/// degrades to refused scrapes instead of unbounded memory.
+constexpr std::size_t kMaxQueuedConnections = 128;
+
+/// Per-connection socket timeout: bounds a worker's exposure to a peer
+/// that connects and then goes silent mid-request or mid-response.
+constexpr int kSocketTimeoutSeconds = 5;
+
+/// Process-global: at most one /profile window at a time, and never
+/// concurrently with a CLI-owned --profile session.
+std::mutex g_profile_mutex;
+
+struct Response {
+  int code = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  bool allow_get_header = false;  ///< 405 carries "Allow: GET"
+};
+
+const char* reason_phrase(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+/// The fixed endpoint set; anything else is labeled "other" so unknown
+/// paths cannot mint unbounded metric series.
+const char* canonical_endpoint(const std::string& path) {
+  static const char* const kKnown[] = {
+      "/",        "/metrics", "/metrics.json", "/healthz",
+      "/readyz",  "/status",  "/profile",      "/stacks",
+  };
+  for (const char* p : kKnown) {
+    if (path == p) return p;
+  }
+  return "other";
+}
+
+void append_json_double(std::string& out, double v) {
+  std::ostringstream ss;
+  ss.precision(10);
+  ss << v;
+  out += ss.str();
+}
+
+std::string status_json(double uptime_seconds, bool ready) {
+  std::string out = "{\n  \"build\": {\"version\": ";
+  out += json_quote(build_version());
+  out += ", \"git_sha\": ";
+  out += json_quote(build_git_sha());
+  out += ", \"build_type\": ";
+  out += json_quote(build_type());
+  out += "},\n  \"uptime_seconds\": ";
+  append_json_double(out, uptime_seconds);
+  out += ",\n  \"ready\": ";
+  out += ready ? "true" : "false";
+
+  ProgressSnapshot prog;
+  const bool live = current_progress(&prog);
+  out += ",\n  \"progress\": {\"live\": ";
+  out += live ? "true" : "false";
+  out += ", \"done\": " + std::to_string(prog.done);
+  out += ", \"total\": " + std::to_string(prog.total);
+  out += ", \"errors\": " + std::to_string(prog.errors);
+  out += ", \"elapsed_seconds\": ";
+  append_json_double(out, prog.elapsed_seconds);
+  out += ", \"rate_per_second\": ";
+  append_json_double(out, prog.rate_per_second);
+  out += ", \"eta_seconds\": ";
+  append_json_double(out, prog.eta_seconds);
+  out += ", \"finished\": ";
+  out += prog.finished ? "true" : "false";
+  out += "}";
+
+  out += ",\n  \"monitors\": [";
+  bool first_mon = true;
+  for (const MonitorStatus& m : search_monitor_statuses()) {
+    if (!first_mon) out += ",";
+    first_mon = false;
+    out += "\n    {\"label\": " + json_quote(m.label);
+    out += ", \"id\": " + std::to_string(m.monitor_id);
+    out += ", \"heartbeats\": [";
+    bool first_hb = true;
+    for (const HeartbeatSnapshot& h : m.ring) {
+      if (!first_hb) out += ", ";
+      first_hb = false;
+      out += "{\"t_us\": " + std::to_string(h.t_us);
+      out += ", \"nodes\": " + std::to_string(h.nodes);
+      out += ", \"incumbent_nops\": " + std::to_string(h.incumbent_nops);
+      out += ", \"depth\": " + std::to_string(h.depth);
+      out += ", \"cache_hit_pct\": ";
+      append_json_double(out, h.cache_hit_pct);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += first_mon ? "]" : "\n  ]";
+
+  out += ",\n  \"stacks\": [";
+  bool first_stack = true;
+  for (const PhaseStackSnapshot& s : profiler_phase_stacks()) {
+    if (!first_stack) out += ",";
+    first_stack = false;
+    out += "\n    {\"tid\": " + std::to_string(s.tid);
+    out += ", \"path\": " + json_quote(s.path) + "}";
+  }
+  out += first_stack ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
+}
+
+std::string stacks_text() {
+  std::string out;
+  for (const PhaseStackSnapshot& s : profiler_phase_stacks()) {
+    out += "tid " + std::to_string(s.tid) + ": ";
+    out += s.path.empty() ? "(idle)" : s.path;
+    out += "\n";
+  }
+  if (out.empty()) out = "(no registered phase stacks)\n";
+  return out;
+}
+
+/// Parse "seconds=N" from a /profile query string. Returns false (400)
+/// on any other shape; an empty query selects the 1-second default.
+bool parse_profile_seconds(const std::string& query, double* seconds) {
+  *seconds = 1.0;
+  if (query.empty()) return true;
+  const std::string key = "seconds=";
+  if (query.compare(0, key.size(), key) != 0) return false;
+  const std::string value = query.substr(key.size());
+  if (value.empty()) return false;
+  std::size_t used = 0;
+  double parsed = 0;
+  try {
+    parsed = std::stod(value, &used);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (used != value.size() || !(parsed > 0)) return false;
+  *seconds = parsed;
+  return true;
+}
+
+bool send_all(int fd, const char* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct HttpExporter::Impl {
+  HttpExporterOptions options;
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+  std::chrono::steady_clock::time_point started_at;
+
+  std::atomic<bool> ready{false};
+  std::atomic<bool> stopping{false};
+
+  std::mutex mutex;                 ///< guards queue + stopped
+  std::condition_variable cv;       ///< queue arrivals and stop
+  std::deque<int> queue;            ///< accepted, unserved connection fds
+  bool stopped = false;             ///< stop() already ran to completion
+
+  std::thread accept_thread;
+  std::vector<std::thread> workers;
+
+  void accept_loop();
+  void worker_loop();
+  void handle_connection(int fd);
+  Response route(const std::string& path, const std::string& query);
+  Response profile_endpoint(const std::string& query);
+};
+
+HttpExporter::HttpExporter(const HttpExporterOptions& options)
+    : impl_(new Impl) {
+  impl_->options = options;
+  impl_->options.worker_threads =
+      std::max(1, std::min(16, options.worker_threads));
+  impl_->started_at = std::chrono::steady_clock::now();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw Error(std::string("http exporter: socket(): ") +
+                std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("http exporter: cannot bind 127.0.0.1:" +
+                std::to_string(options.port) + ": " + std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error(std::string("http exporter: listen(): ") +
+                std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error(std::string("http exporter: getsockname(): ") +
+                std::strerror(err));
+  }
+  impl_->listen_fd = fd;
+  impl_->port = ntohs(bound.sin_port);
+
+  // A live exporter with a dead registry would serve empty scrapes.
+  metrics_enable();
+
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+  for (int i = 0; i < impl_->options.worker_threads; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+void HttpExporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->stopped) return;
+    impl_->stopped = true;
+  }
+  impl_->stopping.store(true, std::memory_order_release);
+  impl_->cv.notify_all();
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  for (std::thread& t : impl_->workers) {
+    if (t.joinable()) t.join();
+  }
+  impl_->workers.clear();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (int fd : impl_->queue) ::close(fd);
+    impl_->queue.clear();
+  }
+  if (impl_->listen_fd >= 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+}
+
+std::uint16_t HttpExporter::port() const { return impl_->port; }
+
+std::string HttpExporter::base_url() const {
+  return "http://127.0.0.1:" + std::to_string(impl_->port);
+}
+
+void HttpExporter::set_ready(bool ready) {
+  impl_->ready.store(ready, std::memory_order_release);
+}
+
+bool HttpExporter::ready() const {
+  return impl_->ready.load(std::memory_order_acquire);
+}
+
+void HttpExporter::Impl::accept_loop() {
+  // Poll with a short timeout instead of blocking in accept(): stop()
+  // only has to flip the flag — no cross-thread close of a fd the
+  // accept call is using, which would race against fd-number reuse.
+  while (!stopping.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;
+    }
+    timeval tv{};
+    tv.tv_sec = kSocketTimeoutSeconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (queue.size() >= kMaxQueuedConnections) {
+        ::close(fd);  // shed: a scrape storm cannot grow memory
+        continue;
+      }
+      queue.push_back(fd);
+    }
+    cv.notify_one();
+  }
+}
+
+void HttpExporter::Impl::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [this] {
+        return !queue.empty() || stopping.load(std::memory_order_acquire);
+      });
+      if (queue.empty()) return;  // stopping and drained
+      fd = queue.front();
+      queue.pop_front();
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExporter::Impl::handle_connection(int fd) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Read until the end of the header block or the size cap.
+  std::string request;
+  bool complete = false;
+  bool oversized = false;
+  char buf[2048];
+  while (!complete && !oversized) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed or timed out mid-request
+    request.append(buf, static_cast<std::size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos) complete = true;
+    if (request.size() > kMaxRequestBytes) oversized = true;
+  }
+  if (request.empty()) return;  // connect-and-close probe: nothing to answer
+
+  Response resp;
+  std::string endpoint = "invalid";
+  if (oversized) {
+    resp.code = 431;
+    resp.body = "request header block exceeds " +
+                std::to_string(kMaxRequestBytes) + " bytes\n";
+  } else if (!complete) {
+    resp.code = 400;
+    resp.body = "malformed request: header block never terminated\n";
+  } else {
+    // Request line: METHOD SP TARGET SP VERSION, single spaces.
+    const std::size_t line_end = request.find("\r\n");
+    const std::string line = request.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos || sp1 == 0 ||
+        sp2 == sp1 + 1 || sp2 + 1 >= line.size() ||
+        line.find(' ', sp2 + 1) != std::string::npos) {
+      resp.code = 400;
+      resp.body = "malformed request line\n";
+    } else {
+      const std::string method = line.substr(0, sp1);
+      const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::string version = line.substr(sp2 + 1);
+      const std::size_t qmark = target.find('?');
+      const std::string path = target.substr(0, qmark);
+      const std::string query =
+          qmark == std::string::npos ? "" : target.substr(qmark + 1);
+      endpoint = canonical_endpoint(path);
+      if (version.compare(0, 5, "HTTP/") != 0) {
+        resp.code = 400;
+        resp.body = "malformed request version\n";
+        endpoint = "invalid";
+      } else if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+        resp.code = 505;
+        resp.body = "only HTTP/1.0 and HTTP/1.1 are supported\n";
+      } else if (method != "GET") {
+        resp.code = 405;
+        resp.allow_get_header = true;
+        resp.body = "method " + method + " not allowed; only GET\n";
+      } else {
+        resp = route(path, query);
+      }
+    }
+  }
+
+  std::string head = "HTTP/1.1 " + std::to_string(resp.code) + " " +
+                     reason_phrase(resp.code) + "\r\n";
+  head += "Content-Type: " + resp.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  if (resp.allow_get_header) head += "Allow: GET\r\n";
+  head += "Connection: close\r\n\r\n";
+
+  const bool written = send_all(fd, head.data(), head.size()) &&
+                       send_all(fd, resp.body.data(), resp.body.size());
+
+  // Self-observation: only fully written responses count, so a test can
+  // reconcile ps_http_requests_total exactly against client receipts.
+  // Recorded BEFORE the FIN below: a client that has seen end-of-stream
+  // may rely on the counter already covering its response, so the update
+  // must happen-before the shutdown that releases the client.
+  if (written) {
+    metrics_counter("ps_http_requests_total",
+                    {{"endpoint", endpoint},
+                     {"code", std::to_string(resp.code)}},
+                    "HTTP responses served by the obs exporter")
+        .increment();
+    metrics_histogram("ps_http_request_seconds", {{"endpoint", endpoint}},
+                      "Wall seconds from request receipt to response write")
+        .observe(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
+  }
+  ::shutdown(fd, SHUT_WR);
+}
+
+Response HttpExporter::Impl::route(const std::string& path,
+                                   const std::string& query) {
+  Response resp;
+  if (path == "/") {
+    resp.body =
+        "pipesched observability endpoints:\n"
+        "  /metrics            Prometheus text exposition 0.0.4\n"
+        "  /metrics.json       the same snapshot as JSON\n"
+        "  /healthz            liveness\n"
+        "  /readyz             readiness (503 until setup completes)\n"
+        "  /status             live run status as JSON\n"
+        "  /stacks             current phase stacks as text\n"
+        "  /profile?seconds=N  on-demand collapsed-stack profile\n";
+  } else if (path == "/metrics") {
+    std::ostringstream ss;
+    metrics_snapshot().write_prometheus(ss);
+    resp.body = ss.str();
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/metrics.json") {
+    std::ostringstream ss;
+    metrics_snapshot().write_json(ss);
+    resp.body = ss.str();
+    resp.content_type = "application/json";
+  } else if (path == "/healthz") {
+    resp.body = "ok\n";
+  } else if (path == "/readyz") {
+    if (ready.load(std::memory_order_acquire)) {
+      resp.body = "ready\n";
+    } else {
+      resp.code = 503;
+      resp.body = "not ready\n";
+    }
+  } else if (path == "/status") {
+    resp.body = status_json(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_at)
+            .count(),
+        ready.load(std::memory_order_acquire));
+    resp.content_type = "application/json";
+  } else if (path == "/stacks") {
+    resp.body = stacks_text();
+  } else if (path == "/profile") {
+    resp = profile_endpoint(query);
+  } else {
+    resp.code = 404;
+    resp.body = "unknown path: " + path + "\n";
+  }
+  return resp;
+}
+
+Response HttpExporter::Impl::profile_endpoint(const std::string& query) {
+  Response resp;
+  double seconds = 0;
+  if (!parse_profile_seconds(query, &seconds)) {
+    resp.code = 400;
+    resp.body = "bad query: expected /profile?seconds=N with N > 0\n";
+    return resp;
+  }
+  seconds = std::min(seconds, options.max_profile_seconds);
+
+  // One profile session at a time, process-wide: a second /profile — or
+  // a run started with --profile, which owns the sampler for its whole
+  // duration — gets 409 instead of having its samples stolen.
+  std::unique_lock<std::mutex> profile_lock(g_profile_mutex,
+                                            std::try_to_lock);
+  if (!profile_lock.owns_lock() || profiler_enabled()) {
+    resp.code = 409;
+    resp.body = "a profile session is already active\n";
+    return resp;
+  }
+
+  profiler_enable();
+  {
+    // Interruptible window: stop() cuts the profile short rather than
+    // waiting out the full N seconds.
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait_for(lock, std::chrono::duration<double>(seconds), [this] {
+      return stopping.load(std::memory_order_acquire);
+    });
+  }
+  std::ostringstream ss;
+  profiler_write_collapsed(ss);
+  profiler_disable();
+  resp.body = ss.str();
+  if (resp.body.empty()) {
+    resp.body = "# no samples attributed (no profiled phase was live)\n";
+  }
+  return resp;
+}
+
+}  // namespace pipesched

@@ -1,0 +1,108 @@
+// Embedded observability HTTP server: live /metrics, health, search
+// status, and on-demand profiles for any in-flight run.
+//
+// Until this existed every observability export (trace JSON, metrics
+// snapshots, collapsed profiles, flight-recorder dumps) was file-based
+// and post-mortem — nothing could be asked of a corpus run or a long
+// search WHILE it was running. The exporter closes that gap and is the
+// networking layer the pscd scheduling-as-a-service daemon (ROADMAP)
+// will reuse wholesale: Prometheus scrapes, load-balancer health checks,
+// and speedscope profiles all hit the same embedded endpoints production
+// schedulers expose.
+//
+// Design constraints, in order:
+//   1. Dependency-free. POSIX sockets only — no third-party HTTP stack
+//      to vendor, audit, or version. The server speaks exactly the
+//      subset scrapers need: GET, HTTP/1.0-1.1, Connection: close.
+//   2. Strict. Anything that is not a well-formed GET is rejected with
+//      the correct status code (400 malformed, 405 non-GET with an
+//      Allow header, 404 unknown path, 431 oversized header block, 505
+//      unsupported version) — a scraper mis-pointed at the port learns
+//      so immediately instead of hanging.
+//   3. Bounded. One accept thread plus a fixed worker pool handle
+//      clients; accepted connections queue up to a fixed depth and are
+//      shed beyond it (the socket is closed — a stalled scraper cannot
+//      wedge the run being observed). Per-connection socket timeouts
+//      bound each worker's exposure to a dead peer.
+//   4. Observable itself. Every response increments
+//      ps_http_requests_total{endpoint=,code=} and feeds the
+//      ps_http_request_seconds{endpoint=} latency histogram, so a
+//      dashboard can watch its own scrape path.
+//
+// Endpoints:
+//   GET /             tiny text index of the endpoints below
+//   GET /metrics      Prometheus text exposition 0.0.4 of the registry
+//   GET /metrics.json the same snapshot as JSON
+//   GET /healthz      liveness: 200 "ok" whenever the server breathes
+//   GET /readyz       readiness: 503 until the host run calls
+//                     set_ready(true) once compile/corpus setup is done
+//   GET /status       strict JSON: build identity, uptime, live corpus
+//                     progress (done/total/errors/rate/ETA), every live
+//                     SearchMonitor's heartbeat ring, and each
+//                     registered thread's current phase stack
+//   GET /stacks       the phase stacks alone, as plain text
+//   GET /profile?seconds=N  enable the sampling profiler for a clamped
+//                     window (409 if a profile session is already live,
+//                     e.g. the run was started with --profile) and
+//                     return collapsed-stack text for flamegraph.pl /
+//                     speedscope
+//
+// Lifecycle: constructing the exporter binds + listens (throwing
+// pipesched::Error on failure, e.g. port in use) and starts the threads;
+// stop() (idempotent, also run by the destructor) closes the listen
+// socket, drains the queue, and joins every thread. Binds loopback only:
+// observability is for the operator on the box, not the open network.
+// Starting the server turns the metrics registry on (a live exporter
+// with a dead registry would serve empty scrapes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace pipesched {
+
+struct HttpExporterOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back via
+  /// port() — psc/bench print it so scripts can scrape).
+  std::uint16_t port = 0;
+  /// Worker threads answering requests (clamped to [1, 16]). Keep >= 2
+  /// so scrapes stay served while a /profile window sleeps.
+  int worker_threads = 4;
+  /// Upper clamp for /profile?seconds=N windows.
+  double max_profile_seconds = 30.0;
+};
+
+class HttpExporter {
+ public:
+  /// Bind, listen, and start serving. Throws pipesched::Error with the
+  /// OS reason when the socket cannot be bound (port in use, ...).
+  explicit HttpExporter(const HttpExporterOptions& options = {});
+
+  /// stop() then join (idempotent).
+  ~HttpExporter();
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Stop accepting, shed queued connections, join every thread. Safe
+  /// to call from any thread (the graceful-interrupt cleanup does) and
+  /// more than once. A /profile window in flight is cut short, not
+  /// waited out.
+  void stop();
+
+  /// The bound port (the ephemeral one when options.port was 0).
+  std::uint16_t port() const;
+
+  /// "http://127.0.0.1:<port>".
+  std::string base_url() const;
+
+  /// Flip /readyz. Hosts mark ready once compile/corpus setup is done.
+  void set_ready(bool ready);
+  bool ready() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pipesched

@@ -1,0 +1,35 @@
+#include "util/build_info.hpp"
+
+#include "util/metrics.hpp"
+
+#ifndef PS_GIT_SHA
+#define PS_GIT_SHA "unknown"
+#endif
+#ifndef PS_BUILD_TYPE
+#define PS_BUILD_TYPE "unknown"
+#endif
+
+namespace pipesched {
+
+const char* build_version() { return "0.9.0"; }
+
+const char* build_git_sha() { return PS_GIT_SHA; }
+
+const char* build_type() { return PS_BUILD_TYPE; }
+
+std::string build_info_line() {
+  return std::string("pipesched ") + build_version() + " (git " +
+         build_git_sha() + ", " + build_type() + ")";
+}
+
+void register_build_info_metric() {
+  static Gauge& info = metrics_gauge(
+      "ps_build_info",
+      {{"version", build_version()},
+       {"git_sha", build_git_sha()},
+       {"build_type", build_type()}},
+      "Build identity; constant 1 (info-style gauge)");
+  info.set(1);
+}
+
+}  // namespace pipesched

@@ -1,0 +1,36 @@
+// Build identity: version, git revision, build type.
+//
+// Every /metrics scrape and metrics export carries a
+// ps_build_info{version=,git_sha=,build_type=} gauge (value 1, the
+// Prometheus convention for info-style metrics) so roll-ups and
+// dashboards can always tell WHICH binary produced a number — the first
+// question every perf regression hunt asks. psc --version prints the
+// same triple.
+//
+// git_sha and build_type are burned in at CMake configure time
+// (PS_GIT_SHA / PS_BUILD_TYPE compile definitions); a build from an
+// exported tarball reports "unknown".
+#pragma once
+
+#include <string>
+
+namespace pipesched {
+
+/// Semantic version of the pipesched library/tools.
+const char* build_version();
+
+/// Short git revision at configure time ("unknown" outside a checkout).
+const char* build_git_sha();
+
+/// CMake build type at configure time (Release, Debug, ...).
+const char* build_type();
+
+/// One human line: "pipesched <version> (git <sha>, <build_type>)".
+std::string build_info_line();
+
+/// Register (or refresh) the ps_build_info gauge at value 1. Idempotent;
+/// called from metrics_enable()/metrics_reset() so every live registry
+/// carries the identity series without any caller wiring.
+void register_build_info_metric();
+
+}  // namespace pipesched

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "util/build_info.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"  // json_quote
 
@@ -247,6 +248,9 @@ std::string render_label_set(const MetricLabels& labels,
 
 void metrics_enable() {
   metrics_detail::g_enabled.store(true, std::memory_order_relaxed);
+  // Every live registry identifies the binary that fills it: scrapers
+  // and roll-ups join on these labels (see build_info.hpp).
+  register_build_info_metric();
 }
 
 void metrics_disable() {
@@ -254,21 +258,27 @@ void metrics_disable() {
 }
 
 void metrics_reset() {
-  Registry& reg = registry();
-  std::lock_guard lock(reg.mutex);
-  for (Instrument& inst : reg.instruments) {
-    switch (inst.kind) {
-      case Kind::Counter:
-        MetricsRegistry::reset(*inst.counter);
-        break;
-      case Kind::Gauge:
-        MetricsRegistry::reset(*inst.gauge);
-        break;
-      case Kind::Histogram:
-        MetricsRegistry::reset(*inst.histogram);
-        break;
+  {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    for (Instrument& inst : reg.instruments) {
+      switch (inst.kind) {
+        case Kind::Counter:
+          MetricsRegistry::reset(*inst.counter);
+          break;
+        case Kind::Gauge:
+          MetricsRegistry::reset(*inst.gauge);
+          break;
+        case Kind::Histogram:
+          MetricsRegistry::reset(*inst.histogram);
+          break;
+      }
     }
   }
+  // The reset just zeroed ps_build_info with every other gauge; restore
+  // its constant 1 (outside the registry lock — the gauge factory
+  // re-enters it). Gauge writes are enable-gated, hence the check.
+  if (metrics_enabled()) register_build_info_metric();
 }
 
 metrics_detail::Cell& Counter::cell() {

@@ -238,6 +238,41 @@ std::vector<HeartbeatSnapshot> SearchMonitor::ring() const {
 
 const char* SearchMonitor::label() const { return impl_->label; }
 
+std::vector<MonitorStatus> search_monitor_statuses() {
+  std::vector<MonitorStatus> out;
+  auto& reg = SearchMonitor::Impl::registry();
+  // registry -> monitor, the same order check_stalls() takes; a /status
+  // scrape and a stall dump can interleave but never deadlock.
+  std::lock_guard lock(reg.mutex);
+  out.reserve(reg.monitors.size());
+  for (const SearchMonitor::Impl* mon : reg.monitors) {
+    std::lock_guard mon_lock(mon->mutex);
+    MonitorStatus& status = out.emplace_back();
+    status.label = mon->label;
+    status.monitor_id = mon->id;
+    status.ring.reserve(mon->ring_size);
+    const std::size_t cap = SearchMonitor::kRingCapacity;
+    const std::size_t start = (mon->ring_next + cap - mon->ring_size) % cap;
+    for (std::size_t i = 0; i < mon->ring_size; ++i) {
+      status.ring.push_back(mon->ring[(start + i) % cap]);
+    }
+  }
+  return out;
+}
+
+std::vector<PhaseStackSnapshot> profiler_phase_stacks() {
+  std::vector<PhaseStackSnapshot> out;
+  auto& reg = prof_detail::stack_registry();
+  std::lock_guard lock(reg.mutex);
+  out.reserve(reg.stacks.size());
+  for (const auto& stack : reg.stacks) {
+    PhaseStackSnapshot& snap = out.emplace_back();
+    snap.tid = stack->tid;
+    snap.path = read_stack_path(*stack);
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------
 // Background monitor thread (sampler + watchdog share it)
 // ---------------------------------------------------------------------

@@ -258,6 +258,33 @@ class SearchMonitor {
   Impl* impl_;  ///< owned; unregistered and freed in ~SearchMonitor
 };
 
+/// Point-in-time view of one live search's flight recorder, as served by
+/// the obs HTTP server's /status endpoint.
+struct MonitorStatus {
+  std::string label;           ///< "bnb", "cp", ... (see SearchMonitor)
+  std::uint64_t monitor_id = 0;
+  std::vector<HeartbeatSnapshot> ring;  ///< oldest first
+};
+
+/// Snapshot every live SearchMonitor (label, id, heartbeat ring), oldest
+/// registration first. Lock order is registry -> monitor, identical to
+/// the watchdog's stall scan, so a /status read can never deadlock
+/// against a concurrent stall dump (DESIGN.md section 3.9).
+std::vector<MonitorStatus> search_monitor_statuses();
+
+/// Point-in-time view of one registered thread's phase stack. `path` is
+/// the collapsed "a;b;c" form; empty = idle. Stacks only carry frames
+/// while the profiler is enabled (markers are enable-gated), so an
+/// unprofiled process reports every registered thread as idle.
+struct PhaseStackSnapshot {
+  std::uint32_t tid = 0;
+  std::string path;
+};
+
+/// Snapshot every registered thread's phase stack (registration order).
+/// Race-benign against concurrent push/pop, like the sampler's reads.
+std::vector<PhaseStackSnapshot> profiler_phase_stacks();
+
 /// Arm the stall watchdog: the background monitor thread (shared with the
 /// sampler; started on demand) checks every live SearchMonitor, and any
 /// search whose nodes-expanded counter has not advanced for `seconds`

@@ -6,19 +6,55 @@
 #include <cstdio>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "util/strings.hpp"
 
 namespace pipesched {
 
+namespace {
+
+/// Live reporters, construction order. Leaked so reporters destroyed
+/// during static teardown can still unregister safely.
+struct ProgressRegistry {
+  std::mutex mutex;
+  std::vector<ProgressReporter*> live;
+};
+
+ProgressRegistry& registry() {
+  static ProgressRegistry* r = new ProgressRegistry;
+  return *r;
+}
+
+void register_reporter(ProgressReporter* reporter) {
+  ProgressRegistry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  reg.live.push_back(reporter);
+}
+
+void unregister_reporter(ProgressReporter* reporter) {
+  ProgressRegistry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  reg.live.erase(std::remove(reg.live.begin(), reg.live.end(), reporter),
+                 reg.live.end());
+}
+
+}  // namespace
+
 ProgressReporter::ProgressReporter(std::size_t total, std::ostream& out,
                                    bool tty, double min_redraw_seconds)
     : total_(total),
-      out_(out),
+      out_(&out),
       tty_(tty),
       min_redraw_seconds_(min_redraw_seconds) {
   // Non-tty mode logs ~10 evenly spaced lines plus the final one.
   next_line_at_ = std::max<std::size_t>(1, total_ / 10);
+  register_reporter(this);
+}
+
+ProgressReporter::ProgressReporter(std::size_t total)
+    : total_(total), out_(nullptr), tty_(false), min_redraw_seconds_(0) {
+  register_reporter(this);
 }
 
 bool ProgressReporter::stderr_is_tty() { return isatty(fileno(stderr)) != 0; }
@@ -27,7 +63,7 @@ void ProgressReporter::add(bool errored) {
   std::lock_guard lock(mutex_);
   if (done_ < total_) ++done_;
   if (errored) ++errors_;
-  if (finished_) return;
+  if (finished_ || out_ == nullptr) return;
   if (tty_) {
     const double now = wall_.seconds();
     if (done_ == total_ || last_redraw_seconds_ < 0 ||
@@ -38,11 +74,12 @@ void ProgressReporter::add(bool errored) {
   } else if (done_ >= next_line_at_) {
     next_line_at_ = done_ + std::max<std::size_t>(1, total_ / 10);
     render(false);
-    out_ << "\n";
+    *out_ << "\n";
   }
 }
 
 void ProgressReporter::render(bool final_line) {
+  if (out_ == nullptr) return;
   const double seconds = wall_.seconds();
   const double rate = seconds > 0 ? static_cast<double>(done_) / seconds : 0;
   const std::size_t remaining = total_ - std::min(done_, total_);
@@ -63,22 +100,44 @@ void ProgressReporter::render(bool final_line) {
   std::string text = line.str();
   if (tty_) text.append(std::max<std::size_t>(text.size(), 60) - text.size(),
                         ' ');
-  out_ << text;
-  if (tty_) out_.flush();
+  *out_ << text;
+  if (tty_) out_->flush();
 }
 
 void ProgressReporter::finish() {
   std::lock_guard lock(mutex_);
   if (finished_) return;
   finished_ = true;
+  if (out_ == nullptr) return;
   render(true);
-  out_ << "\n";
-  out_.flush();
+  *out_ << "\n";
+  out_->flush();
 }
 
 ProgressReporter::~ProgressReporter() {
   // Never let a partial tty status line bleed into subsequent output.
   finish();
+  unregister_reporter(this);
+}
+
+ProgressSnapshot ProgressReporter::snapshot() const {
+  std::lock_guard lock(mutex_);
+  ProgressSnapshot snap;
+  snap.done = done_;
+  snap.total = total_;
+  snap.errors = errors_;
+  snap.elapsed_seconds = wall_.seconds();
+  snap.rate_per_second =
+      snap.elapsed_seconds > 0
+          ? static_cast<double>(done_) / snap.elapsed_seconds
+          : 0;
+  const std::size_t remaining = total_ - std::min(done_, total_);
+  snap.eta_seconds = snap.rate_per_second > 0
+                         ? static_cast<double>(remaining) /
+                               snap.rate_per_second
+                         : 0;
+  snap.finished = finished_;
+  return snap;
 }
 
 std::size_t ProgressReporter::done() const {
@@ -89,6 +148,23 @@ std::size_t ProgressReporter::done() const {
 std::size_t ProgressReporter::errors() const {
   std::lock_guard lock(mutex_);
   return errors_;
+}
+
+bool current_progress(ProgressSnapshot* out) {
+  ProgressRegistry& reg = registry();
+  // Holding the registry lock across snapshot() pins the reporter: its
+  // destructor finishes first (own mutex only), then blocks on the
+  // registry lock to unregister — so the pointer cannot dangle here.
+  std::lock_guard lock(reg.mutex);
+  if (reg.live.empty()) return false;
+  *out = reg.live.back()->snapshot();
+  return true;
+}
+
+void progress_finish_all() {
+  ProgressRegistry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  for (ProgressReporter* reporter : reg.live) reporter->finish();
 }
 
 }  // namespace pipesched

@@ -5,7 +5,15 @@
 // place (carriage return, rate-limited so thousands of fast blocks do
 // not melt the terminal into scroll-back); on a non-tty stream (CI logs,
 // redirects) it degrades to occasional complete lines so logs stay
-// greppable and bounded.
+// greppable and bounded. A third, *silent* mode (no output stream at
+// all) exists for runs that only want the thread-safe snapshot() state —
+// the live /status HTTP endpoint reads it without forcing stderr noise
+// on every corpus run.
+//
+// Every live reporter also self-registers in a process-wide registry so
+// out-of-band observers (the obs HTTP server's /status endpoint, the
+// graceful-interrupt cleanup) can find "the current run's progress"
+// without threading a pointer through every layer.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +24,19 @@
 
 namespace pipesched {
 
+/// Point-in-time copy of a reporter's state, safe to take from any
+/// thread while workers keep ticking. rate/eta are derived from the
+/// reporter's own wall clock at snapshot time.
+struct ProgressSnapshot {
+  std::size_t done = 0;
+  std::size_t total = 0;
+  std::size_t errors = 0;
+  double elapsed_seconds = 0;
+  double rate_per_second = 0;   ///< done / elapsed (0 before any progress)
+  double eta_seconds = 0;       ///< remaining / rate (0 when rate is 0)
+  bool finished = false;
+};
+
 class ProgressReporter {
  public:
   /// Report progress toward `total` completions on `out`. `tty` selects
@@ -23,6 +44,11 @@ class ProgressReporter {
   /// writing to stderr. `min_redraw_seconds` rate-limits tty redraws.
   ProgressReporter(std::size_t total, std::ostream& out, bool tty,
                    double min_redraw_seconds = 0.1);
+
+  /// Silent reporter: counts progress and serves snapshot() but never
+  /// writes anywhere. The corpus runner always keeps one of these alive
+  /// when the caller did not pass its own, so /status stays live.
+  explicit ProgressReporter(std::size_t total);
 
   /// True when stderr is attached to a terminal (POSIX isatty).
   static bool stderr_is_tty();
@@ -35,6 +61,9 @@ class ProgressReporter {
   /// destructor calls it, so scope exit always leaves a clean terminal.
   void finish();
 
+  /// Thread-safe point-in-time state (done/total/errors/rate/ETA).
+  ProgressSnapshot snapshot() const;
+
   ~ProgressReporter();
   ProgressReporter(const ProgressReporter&) = delete;
   ProgressReporter& operator=(const ProgressReporter&) = delete;
@@ -44,11 +73,11 @@ class ProgressReporter {
 
  private:
   /// Render one status report (caller holds mutex_). `final_line` forces
-  /// the redraw and terminates the line.
+  /// the redraw and terminates the line. No-op for silent reporters.
   void render(bool final_line);
 
   const std::size_t total_;
-  std::ostream& out_;
+  std::ostream* out_;  ///< null = silent (snapshot-only) mode
   const bool tty_;
   const double min_redraw_seconds_;
   Timer wall_;
@@ -60,5 +89,14 @@ class ProgressReporter {
   double last_redraw_seconds_ = -1.0;
   bool finished_ = false;
 };
+
+/// Snapshot of the most recently constructed still-live reporter (the
+/// innermost active run). Returns false when no reporter is live.
+bool current_progress(ProgressSnapshot* out);
+
+/// finish() every live reporter — the graceful-interrupt path uses this
+/// so Ctrl-C never leaves a half-drawn tty status line. Thread-safe and
+/// idempotent (finish() itself is).
+void progress_finish_all();
 
 }  // namespace pipesched

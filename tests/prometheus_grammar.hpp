@@ -1,0 +1,74 @@
+// Shared test helper: minimal Prometheus text-exposition (0.0.4) grammar
+// check. Used by the registry tests (snapshot exposition) and the HTTP
+// exporter tests (a live GET /metrics body must pass the same check).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace pipesched {
+
+/// HELP/TYPE lines well-formed, sample names legal, no duplicate series,
+/// every family typed counter/gauge/histogram, every value a number.
+inline void check_prometheus_grammar(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::set<std::string> seen_series;
+  std::map<std::string, std::string> family_type;
+  auto is_name = [](const std::string& s) {
+    if (s.empty()) return false;
+    for (char c : s) {
+      if (!((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '_' || c == ':')) {
+        return false;
+      }
+    }
+    return !(s[0] >= '0' && s[0] <= '9');
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string name, type;
+      fields >> name >> type;
+      ASSERT_TRUE(is_name(name)) << line;
+      ASSERT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram")
+          << line;
+      // One TYPE line per family.
+      ASSERT_EQ(family_type.count(name), 0u) << line;
+      family_type[name] = type;
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0 || line[0] == '#') continue;
+    // Sample line: name[{labels}] value
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name;
+    std::string series_key;
+    if (brace != std::string::npos && brace < space) {
+      const std::size_t close = line.find('}');
+      ASSERT_NE(close, std::string::npos) << line;
+      name = line.substr(0, brace);
+      series_key = line.substr(0, close + 1);
+    } else {
+      name = line.substr(0, space);
+      series_key = name;
+    }
+    ASSERT_TRUE(is_name(name)) << line;
+    ASSERT_TRUE(seen_series.insert(series_key).second)
+        << "duplicate series: " << series_key;
+    // The value must parse as a double.
+    const std::string value = line.substr(line.rfind(' ') + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    EXPECT_NO_THROW((void)std::stod(value)) << line;
+  }
+  ASSERT_FALSE(family_type.empty());
+}
+
+}  // namespace pipesched

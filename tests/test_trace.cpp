@@ -288,6 +288,69 @@ TEST(ProgressReporter, TtyModeRateLimitsRedraws) {
   EXPECT_NE(text.find("99/100"), std::string::npos);
 }
 
+TEST(ProgressReporter, SnapshotReportsLiveStateMidRun) {
+  std::ostringstream out;
+  ProgressReporter progress(8, out, /*tty=*/false);
+  progress.add();
+  progress.add(/*errored=*/true);
+  progress.add();
+  const ProgressSnapshot snap = progress.snapshot();
+  EXPECT_EQ(snap.done, 3u);
+  EXPECT_EQ(snap.total, 8u);
+  EXPECT_EQ(snap.errors, 1u);
+  EXPECT_FALSE(snap.finished);
+  EXPECT_GT(snap.elapsed_seconds, 0.0);
+  EXPECT_GT(snap.rate_per_second, 0.0);
+  // rate = done/elapsed and eta = remaining/rate, consistently.
+  EXPECT_NEAR(snap.rate_per_second, 3.0 / snap.elapsed_seconds, 1e-9);
+  EXPECT_NEAR(snap.eta_seconds, 5.0 / snap.rate_per_second, 1e-9);
+  progress.finish();
+  EXPECT_TRUE(progress.snapshot().finished);
+}
+
+TEST(ProgressReporter, SilentModeCountsWithoutOutput) {
+  ProgressReporter progress(4);  // no stream: snapshot-only
+  progress.add();
+  progress.add();
+  const ProgressSnapshot snap = progress.snapshot();
+  EXPECT_EQ(snap.done, 2u);
+  EXPECT_EQ(snap.total, 4u);
+  progress.finish();  // must not crash or write anywhere
+}
+
+TEST(ProgressReporter, RegistryServesInnermostLiveReporter) {
+  ProgressSnapshot snap;
+  {
+    ProgressReporter outer(100);
+    outer.add();
+    {
+      // Innermost live reporter wins (the current run).
+      ProgressReporter inner(7);
+      inner.add();
+      inner.add();
+      ASSERT_TRUE(current_progress(&snap));
+      EXPECT_EQ(snap.total, 7u);
+      EXPECT_EQ(snap.done, 2u);
+    }
+    // Inner died: the registry falls back to the outer reporter.
+    ASSERT_TRUE(current_progress(&snap));
+    EXPECT_EQ(snap.total, 100u);
+    EXPECT_EQ(snap.done, 1u);
+  }
+  // No live reporters at all (assuming no other test leaks one).
+  EXPECT_FALSE(current_progress(&snap));
+}
+
+TEST(ProgressReporter, FinishAllFinishesEveryLiveReporter) {
+  ProgressReporter a(3);
+  ProgressReporter b(5);
+  a.add();
+  progress_finish_all();
+  EXPECT_TRUE(a.snapshot().finished);
+  EXPECT_TRUE(b.snapshot().finished);
+  progress_finish_all();  // idempotent
+}
+
 TEST(ProgressReporter, FinishIsIdempotentAndScopedSafe) {
   std::ostringstream out;
   {

@@ -41,7 +41,7 @@ cmake -B build-ci-tsan -S . \
 echo "==== building build-ci-tsan (concurrency tests) ===="
 cmake --build build-ci-tsan -j "${jobs}" \
   --target test_parallel_search test_util test_portfolio test_result_cache \
-  test_profiler
+  test_profiler test_http_exporter
 echo "==== TSan: parallel frontier-split search ===="
 ./build-ci-tsan/tests/test_parallel_search
 echo "==== TSan: thread pool ===="
@@ -53,6 +53,8 @@ echo "==== TSan: result cache (concurrent readers during appends) ===="
   --gtest_filter='ResultCacheConcurrency.*'
 echo "==== TSan: sampling profiler (sampler racing annotated workers) ===="
 ./build-ci-tsan/tests/test_profiler
+echo "==== TSan: HTTP exporter (concurrent scrapes racing a live search) ===="
+./build-ci-tsan/tests/test_http_exporter
 
 # Traced corpus smoke, in BOTH configurations: a small corpus run with
 # PS_TRACE must produce well-formed Chrome trace-event JSON (validated
@@ -150,6 +152,103 @@ profiled_smoke() {
 
 profiled_smoke build-ci-release
 profiled_smoke build-ci-sanitize
+
+# Served corpus smoke, in BOTH configurations: a corpus run with PS_SERVE=0
+# must bind an ephemeral port, print it on stderr, and answer live scrapes
+# mid-run — /healthz, /readyz, /metrics (well-formed exposition carrying
+# the build-info and self-observation families), /metrics.json and /status
+# (both must satisfy python's strict JSON parser), an on-demand
+# /profile?seconds=1, and a 404 for unknown paths — then shut the server
+# down cleanly and exit 0 when the corpus completes.
+serve_smoke() {
+  local build="$1" runs="$2"
+  echo "==== served corpus smoke (${build}) ===="
+  local dir pid port rc
+  dir="$(mktemp -d)"
+  # Pre-create the log: the port-polling sed below can race the
+  # backgrounded subshell's redirection opening the file.
+  : > "${dir}/serve.log"
+  (cd "${dir}" && PS_CORPUS_RUNS="${runs}" PS_SERVE=0 \
+    exec "${OLDPWD}/${build}/bench/bench_table7" \
+    > /dev/null 2> "${dir}/serve.log") &
+  pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n \
+      's#.*serving observability endpoints on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+      "${dir}/serve.log")"
+    [[ -n "${port}" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "FAIL: served bench never printed its port:" >&2
+    cat "${dir}/serve.log" >&2
+    exit 1
+  fi
+  local url="http://127.0.0.1:${port}"
+  [[ "$(curl -fsS "${url}/healthz")" == "ok" ]]
+  [[ "$(curl -fsS "${url}/readyz")" == "ready" ]]
+  curl -fsS "${url}/metrics" > "${dir}/scrape.prom"
+  grep -q '^# TYPE ps_build_info gauge' "${dir}/scrape.prom"
+  curl -fsS "${url}/metrics.json" | python3 -m json.tool > /dev/null
+  curl -fsS "${url}/status" > "${dir}/status.json"
+  python3 -m json.tool "${dir}/status.json" > /dev/null
+  grep -q '"progress"' "${dir}/status.json"
+  curl -fsS "${url}/profile?seconds=1" > "${dir}/live.folded"
+  test -s "${dir}/live.folded"
+  rc="$(curl -s -o /dev/null -w '%{http_code}' "${url}/no-such-endpoint")"
+  if [[ "${rc}" != "404" ]]; then
+    echo "FAIL: unknown path answered ${rc}, expected 404" >&2
+    exit 1
+  fi
+  # By now (after the 1 s profile window) corpus blocks have completed and
+  # the self-observation counters must have registered the scrapes above.
+  curl -fsS "${url}/metrics" > "${dir}/scrape2.prom"
+  grep -Eq '^ps_corpus_blocks_total\{status="ok"\} [1-9]' "${dir}/scrape2.prom"
+  grep -Eq '^ps_http_requests_total\{code="200",endpoint="/healthz"\} [1-9]' \
+    "${dir}/scrape2.prom"
+  rc=0
+  wait "${pid}" || rc=$?
+  if [[ "${rc}" -ne 0 ]]; then
+    echo "FAIL: served bench exited ${rc} after scrapes:" >&2
+    cat "${dir}/serve.log" >&2
+    exit 1
+  fi
+  rm -rf "${dir}"
+}
+
+serve_smoke build-ci-release 16000
+serve_smoke build-ci-sanitize 2000
+
+# Graceful-interrupt smoke: SIGINT mid-run must stop the server, finish
+# the progress line, flush the PS_METRICS snapshot, and exit 130
+# (128 + SIGINT) — not die with a half-written file. The `exec` above and
+# here matters: it makes $! the bench binary's own PID (a plain compound
+# command backgrounds a subshell, and signaling that proves nothing).
+echo "==== graceful SIGINT smoke (build-ci-release) ===="
+int_dir="$(mktemp -d)"
+: > "${int_dir}/serve.log"
+(cd "${int_dir}" && PS_CORPUS_RUNS=100000 PS_SERVE=0 \
+  PS_METRICS="${int_dir}/flushed.prom" \
+  exec "${OLDPWD}/build-ci-release/bench/bench_table7" \
+  > /dev/null 2> "${int_dir}/serve.log") &
+int_pid=$!
+for _ in $(seq 1 100); do
+  grep -q 'serving observability endpoints' "${int_dir}/serve.log" && break
+  sleep 0.1
+done
+sleep 0.5
+kill -INT "${int_pid}"
+rc=0
+wait "${int_pid}" || rc=$?
+if [[ "${rc}" -ne 130 ]]; then
+  echo "FAIL: interrupted bench exited ${rc}, expected 130" >&2
+  cat "${int_dir}/serve.log" >&2
+  exit 1
+fi
+grep -q 'interrupted (SIGINT)' "${int_dir}/serve.log"
+grep -q '^# TYPE ps_corpus_blocks_total counter' "${int_dir}/flushed.prom"
+rm -rf "${int_dir}"
 
 # Stall-dump smoke: the watchdog test's stalled fake search writes its
 # flight-recorder dump where PS_TEST_STALL_JSON points; the file must

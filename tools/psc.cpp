@@ -24,10 +24,13 @@
 #include "ir/program_parser.hpp"
 #include "ir/dag.hpp"
 #include "machine/machine_parser.hpp"
+#include "obs/http_exporter.hpp"
 #include "regalloc/regalloc.hpp"
 #include "sched/split_scheduler.hpp"
 #include "sim/simulator.hpp"
+#include "util/build_info.hpp"
 #include "util/check.hpp"
+#include "util/interrupt.hpp"
 #include "util/metrics.hpp"
 #include "util/profiler.hpp"
 #include "util/progress.hpp"
@@ -125,6 +128,16 @@ observability:
                         seconds gets its flight-recorder ring, all phase
                         stacks, and a metrics snapshot dumped to stderr
                         (and <out.folded>.stall.json under --profile)
+  --serve <port>        serve live observability endpoints on
+                        127.0.0.1:<port> for the compile's duration:
+                        /metrics (Prometheus), /metrics.json, /healthz,
+                        /readyz, /status (live progress + search
+                        heartbeats as JSON), /stacks, and
+                        /profile?seconds=N (on-demand collapsed-stack
+                        profile; 409 while --profile owns the sampler).
+                        Port 0 picks an ephemeral port; the bound URL is
+                        printed to stderr either way
+  --version             print version, git SHA, and build type
   --help
 )";
 
@@ -157,6 +170,7 @@ struct Args {
   std::string metrics_path;
   std::string profile_path;
   double watchdog_seconds = 0;
+  int serve_port = -1;  ///< -1 = no server; 0 = ephemeral port
   std::string csv_path;
   std::string jsonl_path;
 };
@@ -252,6 +266,14 @@ Args parse_args(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       std::cout << kUsage;
       std::exit(0);
+    } else if (arg == "--version") {
+      std::cout << build_info_line() << "\n";
+      std::exit(0);
+    } else if (arg == "--serve") {
+      const std::string value = next();
+      const std::uint64_t port = parse_u64_flag(arg, value);
+      if (port > 65535) invalid_flag_value(arg, value);
+      args.serve_port = static_cast<int>(port);
     } else if (arg == "--tuples") {
       args.tuples = true;
     } else if (arg == "--machine") {
@@ -511,13 +533,17 @@ int compile_one_block(BasicBlock block, const Machine& machine,
   return 0;
 }
 
-int run_compile(const Args& args) {
+int run_compile(const Args& args, HttpExporter* server) {
   const Machine machine =
       args.machine_file.empty()
           ? Machine::preset(args.machine_preset)
           : parse_machine(read_input(args.machine_file));
 
   const std::string input = read_input(args.input_path);
+
+  // Setup is done (machine + input loaded): flip /readyz before the
+  // compile itself starts, the same point a daemon would mark ready.
+  if (server != nullptr) server->set_ready(true);
 
   Program parsed_program;
   bool have_program = false;
@@ -604,6 +630,30 @@ int run_compile(const Args& args) {
 
 int run(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+
+  // Ctrl-C / SIGTERM: stop serving, close the progress line, and flush
+  // every requested observability output before exiting with 128+sig —
+  // a killed run still leaves valid trace/metrics/profile files behind.
+  // Installed before anything spawns a thread so every worker inherits
+  // the blocked signal mask (see util/interrupt.hpp).
+  static std::unique_ptr<HttpExporter> server;
+  install_graceful_interrupt([&args](int) {
+    if (server) server->stop();
+    progress_finish_all();
+    if (!args.profile_path.empty() && profiler_enabled()) {
+      profiler_disable();
+      profiler_write_collapsed(args.profile_path);
+    }
+    if (!args.trace_path.empty() && trace_enabled()) {
+      trace_disable();
+      trace_write_json(args.trace_path);
+    }
+    if (!args.metrics_path.empty()) {
+      metrics_disable();
+      metrics_write(args.metrics_path);
+    }
+  });
+
   if (!args.result_cache_path.empty()) {
     // Open (and thereby validate) the cache file before any compilation
     // work: an unwritable directory or a version-mismatched file is a
@@ -626,7 +676,22 @@ int run(int argc, char** argv) {
                                                     ".stall.json");
   }
   if (!args.profile_path.empty()) profiler_enable();
-  const int code = run_compile(args);
+
+  if (args.serve_port >= 0) {
+    try {
+      HttpExporterOptions serve_options;
+      serve_options.port = static_cast<std::uint16_t>(args.serve_port);
+      server = std::make_unique<HttpExporter>(serve_options);
+    } catch (const Error& e) {
+      // A taken port is a usage error (exit 2), like a bad cache file.
+      std::cerr << "psc: " << e.what() << "\n";
+      std::exit(2);
+    }
+    std::cerr << "psc: serving observability endpoints on "
+              << server->base_url() << "\n";
+  }
+
+  const int code = run_compile(args, server.get());
   if (!args.profile_path.empty()) {
     profiler_disable();  // stops sampling and flushes ps_profile_samples_total
     profiler_write_collapsed(args.profile_path);
@@ -656,6 +721,9 @@ int run(int argc, char** argv) {
     std::cerr << "; " << metrics_summary_line() << " written to "
               << args.metrics_path << "\n";
   }
+  // Last: endpoints answer until every other output is flushed, then the
+  // server joins its threads so psc exits with nothing left running.
+  if (server) server->stop();
   return code;
 }
 
